@@ -1,0 +1,73 @@
+// Design-choice ablations called out in DESIGN.md (beyond the paper's own
+// Fig. 14/15 ablations):
+//   (a) backbone candidate count K — solution quality vs problem size,
+//   (b) irregularity weight — the WL <-> regularity trade-off,
+//   (c) pin-access (via capacity) model — routability vs via budget
+//       (the future-work extension).
+// All on the primal-dual flow over synth5 (multipin, mid-size).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+
+int main() {
+    using namespace streak;
+    const Design d = gen::makeSynth(5);
+
+    {
+        io::Table t({"K backbones", "candidates", "Route", "WL", "Avg(Reg)",
+                     "build+solve(s)"});
+        for (const int k : {1, 2, 4, 8}) {
+            StreakOptions opts = bench::baseOptions();
+            opts.backbone.maxBackbones = k;
+            const StreakResult r = runStreak(d, opts);
+            long cands = 0;
+            for (const auto& c : r.problem.candidates) {
+                cands += static_cast<long>(c.size());
+            }
+            t.addRow({std::to_string(k), std::to_string(cands),
+                      io::Table::percent(r.metrics.routability),
+                      std::to_string(r.metrics.wirelength),
+                      io::Table::percent(r.metrics.avgRegularity),
+                      io::Table::fixed(r.buildSeconds + r.solveSeconds, 3)});
+        }
+        std::cout << "== Ablation (a): backbone candidate count K ==\n";
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        io::Table t({"irreg. weight", "Route", "WL", "Avg(Reg)"});
+        for (const double w : {0.0, 10.0, 50.0, 200.0}) {
+            StreakOptions opts = bench::baseOptions();
+            opts.irregularityWeight = w;
+            const StreakResult r = runStreak(d, opts);
+            t.addRow({io::Table::fixed(w, 0),
+                      io::Table::percent(r.metrics.routability),
+                      std::to_string(r.metrics.wirelength),
+                      io::Table::percent(r.metrics.avgRegularity)});
+        }
+        std::cout << "== Ablation (b): irregularity weight ==\n";
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        io::Table t({"via capacity", "Route", "WL", "via overflow"});
+        for (const int cap : {-1, 12, 6, 3}) {
+            gen::SuiteSpec spec = gen::synthSpec(5);
+            spec.viaCapacity = cap;
+            const Design dv = gen::generate(spec);
+            StreakOptions opts = bench::baseOptions();
+            opts.postOptimize = true;
+            const StreakResult r = runStreak(dv, opts);
+            t.addRow({cap < 0 ? "unlimited" : std::to_string(cap),
+                      io::Table::percent(r.metrics.routability),
+                      std::to_string(r.metrics.wirelength),
+                      std::to_string(r.metrics.totalViaOverflow)});
+        }
+        std::cout << "== Ablation (c): pin-access via budget ==\n";
+        t.print(std::cout);
+    }
+    return 0;
+}

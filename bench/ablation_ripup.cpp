@@ -1,0 +1,52 @@
+// Validation of the paper's post-optimization design decision (Sec. IV):
+// Streak deliberately does NOT rip up committed routes and instead adds
+// bottom-up clustering on the residual capacity. This bench measures the
+// rejected alternative: classical rip-up-and-reroute on the same leftover
+// objects.
+//
+// Shape expectation: rip-up can recover routability too, but it perturbs
+// committed group routes — regularity and/or previously routed bits
+// suffer — while clustering recovers bits with the global planning left
+// untouched.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/pd_solver.hpp"
+#include "io/table.hpp"
+#include "post/clustering.hpp"
+#include "post/ripup.hpp"
+
+int main() {
+    using namespace streak;
+    io::Table table({"Bench", "base:Route", "clus:Route", "clus:Reg",
+                     "rip:Route", "rip:Reg", "ripped", "lost"});
+    for (int i = 1; i <= 7; ++i) {
+        const Design d = gen::makeSynth(i);
+        StreakOptions opts = bench::baseOptions();
+        const RoutingProblem prob = buildProblem(d, opts);
+        const PdResult pd = solvePrimalDual(prob);
+
+        // Path A: the paper's choice — bottom-up clustering.
+        RoutedDesign clustered = materialize(prob, pd.solution);
+        post::clusterAndRoute(prob, &clustered);
+        const Metrics mClus = evaluate(prob, clustered);
+
+        // Path B: rip-up and re-route.
+        RoutingSolution ripped = pd.solution;
+        const post::RipupResult rr = post::ripupAndReroute(prob, &ripped);
+        const RoutedDesign rippedDesign = materialize(prob, ripped);
+        const Metrics mRip = evaluate(prob, rippedDesign);
+
+        const Metrics mBase = evaluate(prob, materialize(prob, pd.solution));
+        table.addRow({d.name, io::Table::percent(mBase.routability),
+                      io::Table::percent(mClus.routability),
+                      io::Table::percent(mClus.avgRegularity),
+                      io::Table::percent(mRip.routability),
+                      io::Table::percent(mRip.avgRegularity),
+                      std::to_string(rr.objectsRipped),
+                      std::to_string(rr.objectsLost)});
+    }
+    std::cout << "== Ablation: bottom-up clustering vs rip-up-and-reroute ==\n";
+    table.print(std::cout);
+    return 0;
+}

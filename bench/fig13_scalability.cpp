@@ -1,0 +1,52 @@
+// Fig. 13 reproduction: algorithm scalability — runtime vs total pin
+// count for ILP and primal-dual, on (a) a two-pin size series and (b) a
+// multipin series whose largest point is enriched with pseudo pins/bits
+// (as the paper enlarges Industry2).
+//
+// Shape expectations vs the paper: primal-dual runtime grows gently with
+// size; ILP grows much faster and saturates at its time cap on the larger
+// multipin points.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+void runSeries(bool multipin, const char* title) {
+    using namespace streak;
+    // Third engine beyond the paper's figure: the hierarchical two-stage
+    // ILP (the future-work divide-and-conquer idea) — it should track the
+    // flat ILP's quality while scaling far closer to primal-dual.
+    io::Table table({"Point", "#Pins", "#Net", "ILP:CPU(s)", "ILP:Route",
+                     "hILP:CPU(s)", "hILP:Route", "PD:CPU(s)", "PD:Route"});
+    for (const gen::SuiteSpec& spec : gen::scalabilitySpecs(multipin, 4)) {
+        const Design d = gen::generate(spec);
+        StreakOptions opts = bench::baseOptions();
+        opts.solver = SolverKind::Ilp;
+        const StreakResult ilp = runStreak(d, opts);
+        opts.solver = SolverKind::IlpHierarchical;
+        const StreakResult hilp = runStreak(d, opts);
+        opts.solver = SolverKind::PrimalDual;
+        const StreakResult pd = runStreak(d, opts);
+        table.addRow({spec.name, std::to_string(d.totalPins()),
+                      std::to_string(d.numNets()),
+                      bench::cpuCell(ilp.solveSeconds, ilp.hitTimeLimit),
+                      io::Table::percent(ilp.metrics.routability),
+                      bench::cpuCell(hilp.solveSeconds, hilp.hitTimeLimit),
+                      io::Table::percent(hilp.metrics.routability),
+                      io::Table::fixed(pd.solveSeconds, 3),
+                      io::Table::percent(pd.metrics.routability)});
+    }
+    std::cout << "== " << title << " ==\n";
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+    runSeries(false, "Fig. 13(a): two-pin scalability series");
+    runSeries(true, "Fig. 13(b): multipin scalability series");
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Kernel micro-benchmarks (google-benchmark): the hot inner loops of the
+// flow, plus ablations of the two knobs our backbone enumerator adds on
+// top of the paper (bend penalty lambda, candidate count K).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/identify.hpp"
+#include "core/regularity.hpp"
+#include "core/similarity.hpp"
+#include "gen/generator.hpp"
+#include "route/maze.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace {
+
+using namespace streak;
+
+std::vector<geom::Point> randomPins(int n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> coord(0, 60);
+    std::vector<geom::Point> pins;
+    pins.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) pins.push_back({coord(rng), coord(rng)});
+    return pins;
+}
+
+void BM_RectilinearMST(benchmark::State& state) {
+    const auto pins = randomPins(static_cast<int>(state.range(0)), 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(steiner::mstLength(pins));
+    }
+}
+BENCHMARK(BM_RectilinearMST)->Arg(4)->Arg(8)->Arg(14);
+
+void BM_Iterated1Steiner(benchmark::State& state) {
+    const auto pins = randomPins(static_cast<int>(state.range(0)), 11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(steiner::iterated1Steiner(pins));
+    }
+}
+BENCHMARK(BM_Iterated1Steiner)->Arg(5)->Arg(9)->Arg(14);
+
+/// Ablation: backbone candidate count K (maxCandidates).
+void BM_EnumerateTopologies_K(benchmark::State& state) {
+    const auto pins = randomPins(9, 13);
+    steiner::EnumerateOptions opts;
+    opts.maxCandidates = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(steiner::enumerateTopologies(pins, 0, opts));
+    }
+}
+BENCHMARK(BM_EnumerateTopologies_K)->Arg(1)->Arg(4)->Arg(8);
+
+/// Ablation: bend penalty lambda in the backbone ranking.
+void BM_EnumerateTopologies_Lambda(benchmark::State& state) {
+    const auto pins = randomPins(9, 17);
+    steiner::EnumerateOptions opts;
+    opts.bendPenalty = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto topos = steiner::enumerateTopologies(pins, 0, opts);
+        benchmark::DoNotOptimize(topos.front().bendCount());
+    }
+}
+BENCHMARK(BM_EnumerateTopologies_Lambda)->Arg(0)->Arg(2)->Arg(8);
+
+void BM_SimilarityVector(benchmark::State& state) {
+    Bit bit;
+    bit.pins = randomPins(static_cast<int>(state.range(0)), 19);
+    bit.driver = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bitSimilarities(bit));
+    }
+}
+BENCHMARK(BM_SimilarityVector)->Arg(2)->Arg(8)->Arg(14);
+
+void BM_IdentifyObjects(benchmark::State& state) {
+    const Design d = gen::makeSynth(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(identifyObjects(d));
+    }
+}
+BENCHMARK(BM_IdentifyObjects);
+
+void BM_RegularityRatio(benchmark::State& state) {
+    const auto pins = randomPins(8, 23);
+    const auto a = steiner::enumerateTopologies(pins, 0);
+    const auto pins2 = randomPins(8, 29);
+    const auto b = steiner::enumerateTopologies(pins2, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(regularityRatio(a.front(), b.front()));
+    }
+}
+BENCHMARK(BM_RegularityRatio);
+
+void BM_MazeRoute(benchmark::State& state) {
+    grid::RoutingGrid g(64, 64, 6, 12);
+    for (auto _ : state) {
+        grid::EdgeUsage usage(g);
+        route::MazeRouter router(&usage);
+        benchmark::DoNotOptimize(router.route({{4, 4}, {58, 50}, {30, 60}}, 0));
+    }
+}
+BENCHMARK(BM_MazeRoute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+#include "core/candidate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/backbone.hpp"
+#include "core/equiv.hpp"
+
+namespace streak {
+
+namespace {
+
+void accumulateEdgeUse(const grid::RoutingGrid& grid,
+                       const steiner::Topology& topo, int hLayer, int vLayer,
+                       std::map<int, int>* use) {
+    for (const steiner::UnitEdge& e : topo.wire()) {
+        const int layer = e.horizontal ? hLayer : vLayer;
+        if (grid.validEdge(layer, e.at.x, e.at.y)) {
+            ++(*use)[grid.edgeId(layer, e.at.x, e.at.y)];
+        }
+    }
+}
+
+std::vector<std::pair<int, int>> toSorted(const std::map<int, int>& use) {
+    return {use.begin(), use.end()};  // std::map iterates in key order
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> computeEdgeUse(
+    const grid::RoutingGrid& grid, const std::vector<steiner::Topology>& bits,
+    int hLayer, int vLayer) {
+    std::map<int, int> use;
+    for (const steiner::Topology& t : bits) {
+        accumulateEdgeUse(grid, t, hLayer, vLayer, &use);
+    }
+    return toSorted(use);
+}
+
+std::vector<std::pair<int, int>> computeEdgeUse(const grid::RoutingGrid& grid,
+                                                const steiner::Topology& topo,
+                                                int hLayer, int vLayer) {
+    std::map<int, int> use;
+    accumulateEdgeUse(grid, topo, hLayer, vLayer, &use);
+    return toSorted(use);
+}
+
+namespace {
+
+void accumulateViaUse(const grid::RoutingGrid& grid,
+                      const steiner::Topology& topo, std::map<int, int>* use) {
+    for (const geom::Point p : topo.pins()) {
+        if (grid.contains(p)) ++(*use)[grid.cellIndex(p)];
+    }
+    for (const geom::Point p : topo.viaPoints()) {
+        if (grid.contains(p)) ++(*use)[grid.cellIndex(p)];
+    }
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> computeViaUse(
+    const grid::RoutingGrid& grid,
+    const std::vector<steiner::Topology>& bits) {
+    std::map<int, int> use;
+    for (const steiner::Topology& t : bits) accumulateViaUse(grid, t, &use);
+    return toSorted(use);
+}
+
+std::vector<std::pair<int, int>> computeViaUse(const grid::RoutingGrid& grid,
+                                               const steiner::Topology& topo) {
+    std::map<int, int> use;
+    accumulateViaUse(grid, topo, &use);
+    return toSorted(use);
+}
+
+std::vector<RouteCandidate> generateCandidates(const Design& design,
+                                               const RoutingObject& object,
+                                               const StreakOptions& opts) {
+    const SignalGroup& group =
+        design.groups[static_cast<size_t>(object.groupIndex)];
+    const std::vector<steiner::Topology> backbones =
+        generateBackbones(group, object, opts.backbone);
+
+    // Layer pairs ordered by adjacency (|h - v|), then bottom-up: the
+    // paper prefers neighbouring uni-directional layers to save vias.
+    const std::vector<int> hLayers = design.grid.layersOf(grid::Dir::Horizontal);
+    const std::vector<int> vLayers = design.grid.layersOf(grid::Dir::Vertical);
+    std::vector<std::pair<int, int>> pairs;
+    for (const int h : hLayers) {
+        for (const int v : vLayers) pairs.emplace_back(h, v);
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) {
+                         const int ga = std::abs(a.first - a.second);
+                         const int gb = std::abs(b.first - b.second);
+                         if (ga != gb) return ga < gb;
+                         return a < b;
+                     });
+    if (static_cast<int>(pairs.size()) > opts.maxLayerPairs) {
+        pairs.resize(static_cast<size_t>(opts.maxLayerPairs));
+    }
+
+    std::vector<RouteCandidate> out;
+    for (size_t bb = 0; bb < backbones.size(); ++bb) {
+        std::vector<steiner::Topology> bitTopos =
+            equivalentTopologies(backbones[bb], group, object);
+        long wl = 0;
+        int vias2d = 0;  // bends; pin access stacks are per layer pair
+        for (const steiner::Topology& t : bitTopos) {
+            wl += t.wirelength();
+            vias2d += t.bendCount();
+        }
+        const int pinAccess = [&] {
+            int pins = 0;
+            for (const steiner::Topology& t : bitTopos) {
+                pins += static_cast<int>(t.pins().size());
+            }
+            return pins;
+        }();
+
+        for (const auto& [h, v] : pairs) {
+            RouteCandidate cand;
+            cand.backboneId = static_cast<int>(bb);
+            cand.backbone = backbones[bb];
+            cand.bitTopologies = bitTopos;
+            cand.hLayer = h;
+            cand.vLayer = v;
+            cand.wirelength2d = wl;
+            cand.viaCount = vias2d + pinAccess;
+            cand.edgeUse = computeEdgeUse(design.grid, bitTopos, h, v);
+            cand.viaUse = computeViaUse(design.grid, bitTopos);
+
+            // Feasibility in an empty grid: a candidate that alone exceeds
+            // some edge or via capacity can never be selected.
+            bool fits = true;
+            for (const auto& [edge, amount] : cand.edgeUse) {
+                if (amount > design.grid.capacity(edge)) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits && design.grid.viaLimited()) {
+                for (const auto& [cell, amount] : cand.viaUse) {
+                    const int cap = design.grid.viaCapacity(cell);
+                    if (cap >= 0 && amount > cap) {
+                        fits = false;
+                        break;
+                    }
+                }
+            }
+            if (!fits) continue;
+
+            const int gap = std::abs(h - v) - 1;
+            cand.cost = static_cast<double>(wl) +
+                        opts.viaWeight * cand.viaCount +
+                        opts.layerAdjacencyWeight * gap *
+                            static_cast<double>(object.width());
+            out.push_back(std::move(cand));
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const RouteCandidate& a, const RouteCandidate& b) {
+                         return a.cost < b.cost;
+                     });
+    return out;
+}
+
+}  // namespace streak

@@ -1,0 +1,197 @@
+#include "core/distance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "core/similarity.hpp"
+
+namespace streak {
+
+namespace {
+
+/// Representative-bit pins of an object.
+const Bit& representativeBit(const Design& design, const RoutingObject& obj) {
+    const SignalGroup& g = design.groups[static_cast<size_t>(obj.groupIndex)];
+    return g.bits[static_cast<size_t>(
+        obj.bitIndices[static_cast<size_t>(obj.representativeBit)])];
+}
+
+/// Match each pin of `from` to the closest-SV pin of `to` (driver-weighted
+/// SVs; many-to-one allowed, as for regularity matching).
+std::vector<int> matchPins(const Bit& from, const Bit& to) {
+    const int wf = from.numPins() + 1;
+    const int wt = to.numPins() + 1;
+    std::vector<SimilarityVector> fromSv, toSv;
+    for (int i = 0; i < from.numPins(); ++i) {
+        fromSv.push_back(weightedSimilarity(from.pins, i, from.driver, wf));
+    }
+    for (int i = 0; i < to.numPins(); ++i) {
+        toSv.push_back(weightedSimilarity(to.pins, i, to.driver, wt));
+    }
+    std::vector<int> match(static_cast<size_t>(from.numPins()), 0);
+    for (int i = 0; i < from.numPins(); ++i) {
+        long bestKey = std::numeric_limits<long>::max();
+        for (int j = 0; j < to.numPins(); ++j) {
+            const long key =
+                static_cast<long>(svDistance(fromSv[static_cast<size_t>(i)],
+                                             toSv[static_cast<size_t>(j)])) *
+                    1000000 +
+                manhattan(from.pins[static_cast<size_t>(i)],
+                          to.pins[static_cast<size_t>(j)]);
+            if (key < bestKey) {
+                bestKey = key;
+                match[static_cast<size_t>(i)] = j;
+            }
+        }
+    }
+    // Drivers always correspond.
+    match[static_cast<size_t>(from.driver)] = to.driver;
+    return match;
+}
+
+}  // namespace
+
+std::vector<std::vector<FamilyMember>> buildSinkFamilies(
+    const RoutingProblem& prob, const RoutedDesign& routed) {
+    const Design& design = *prob.design;
+    std::vector<std::vector<FamilyMember>> families(
+        static_cast<size_t>(design.numGroups()));
+
+    std::map<int, std::vector<int>> bitsOfGroup;
+    for (size_t r = 0; r < routed.bits.size(); ++r) {
+        bitsOfGroup[routed.bits[r].groupIndex].push_back(static_cast<int>(r));
+    }
+
+    for (int g = 0; g < design.numGroups(); ++g) {
+        const auto itBits = bitsOfGroup.find(g);
+        if (itBits == bitsOfGroup.end()) continue;
+
+        // Canonical object: the group's first object.
+        const std::vector<int>& objIds =
+            prob.groupObjects[static_cast<size_t>(g)];
+        const int canonObj = objIds.front();
+        const Bit& canonRep = representativeBit(
+            design, prob.objects[static_cast<size_t>(canonObj)]);
+
+        // Per-object map: representative pin -> canonical pin.
+        std::map<int, std::vector<int>> toCanon;
+        for (const int o : objIds) {
+            const RoutingObject& obj = prob.objects[static_cast<size_t>(o)];
+            if (o == canonObj) {
+                std::vector<int> id(static_cast<size_t>(canonRep.numPins()));
+                for (size_t i = 0; i < id.size(); ++i) {
+                    id[i] = static_cast<int>(i);
+                }
+                toCanon.emplace(o, std::move(id));
+            } else {
+                toCanon.emplace(
+                    o, matchPins(representativeBit(design, obj), canonRep));
+            }
+        }
+
+        for (const int r : itBits->second) {
+            const RoutedBit& rb = routed.bits[static_cast<size_t>(r)];
+            const RoutingObject& obj =
+                prob.objects[static_cast<size_t>(rb.objectIndex)];
+            const Bit& bit = design.groups[static_cast<size_t>(g)]
+                                 .bits[static_cast<size_t>(rb.bitIndex)];
+            const std::vector<int>& pinMap =
+                obj.pinMaps[static_cast<size_t>(rb.memberIndex)];
+            const std::vector<int>& canonMap = toCanon.at(rb.objectIndex);
+            for (int i = 0; i < bit.numPins(); ++i) {
+                if (i == bit.driver) continue;
+                const int fam = canonMap[static_cast<size_t>(
+                    pinMap[static_cast<size_t>(i)])];
+                families[static_cast<size_t>(g)].push_back({r, i, fam});
+            }
+        }
+    }
+    return families;
+}
+
+std::vector<GroupDistanceReport> analyzeDistances(
+    const RoutingProblem& prob, const RoutedDesign& routed,
+    double thresholdFraction, const std::vector<int>* fixedThresholds) {
+    const Design& design = *prob.design;
+    std::vector<GroupDistanceReport> reports;
+    reports.reserve(static_cast<size_t>(design.numGroups()));
+
+    const std::vector<std::vector<FamilyMember>> allFamilies =
+        buildSinkFamilies(prob, routed);
+
+    // Per-routed-bit distance cache (sourceToSinkDistances is a BFS).
+    std::map<int, std::vector<int>> distCache;
+    const auto distancesOf = [&](int routedBit) -> const std::vector<int>& {
+        auto it = distCache.find(routedBit);
+        if (it == distCache.end()) {
+            it = distCache
+                     .emplace(routedBit,
+                              routed.bits[static_cast<size_t>(routedBit)]
+                                  .topo.sourceToSinkDistances())
+                     .first;
+        }
+        return it->second;
+    };
+
+    for (int g = 0; g < design.numGroups(); ++g) {
+        GroupDistanceReport rep;
+        rep.groupIndex = g;
+
+        struct Sample {
+            int routedBit;
+            int pin;
+            int distance;
+        };
+        std::map<int, std::vector<Sample>> byFamily;
+        int maxDst = 0;
+        for (const FamilyMember& m : allFamilies[static_cast<size_t>(g)]) {
+            const int dst =
+                distancesOf(m.routedBitIndex)[static_cast<size_t>(m.pinIndex)];
+            if (dst < 0) continue;
+            byFamily[m.familyId].push_back({m.routedBitIndex, m.pinIndex, dst});
+            maxDst = std::max(maxDst, dst);
+        }
+
+        rep.maxInitialDistance = maxDst;
+        if (fixedThresholds != nullptr &&
+            (*fixedThresholds)[static_cast<size_t>(g)] >= 0) {
+            rep.threshold = (*fixedThresholds)[static_cast<size_t>(g)];
+        } else {
+            rep.threshold = static_cast<int>(thresholdFraction * maxDst);
+        }
+
+        for (const auto& [fam, samples] : byFamily) {
+            if (samples.size() < 2) continue;
+            int mx = 0;
+            int mn = std::numeric_limits<int>::max();
+            for (const Sample& s : samples) {
+                mx = std::max(mx, s.distance);
+                mn = std::min(mn, s.distance);
+            }
+            const int dev = mx - mn;
+            rep.maxDeviation = std::max(rep.maxDeviation, dev);
+            if (dev > rep.threshold) {
+                ++rep.violatingFamilies;
+                for (const Sample& s : samples) {
+                    if (mx - s.distance > rep.threshold) {
+                        rep.violations.push_back(
+                            {s.routedBit, s.pin, s.distance, mx});
+                    }
+                }
+            }
+        }
+        reports.push_back(std::move(rep));
+    }
+    return reports;
+}
+
+int countViolatingGroups(const std::vector<GroupDistanceReport>& reports) {
+    int count = 0;
+    for (const GroupDistanceReport& r : reports) {
+        if (r.violating()) ++count;
+    }
+    return count;
+}
+
+}  // namespace streak

@@ -1,0 +1,64 @@
+// Source-to-sink distance deviation analysis (Sec. II-C / IV-C).
+//
+// Corresponding sinks of the bits in one group form a *family*: within an
+// object the correspondence is the identification pin map; across objects
+// the representatives' pins are matched by driver-weighted similarity
+// vectors. A group violates ("Vio(dst)") when some family's max-min
+// distance spread exceeds the threshold (a fraction — the paper uses 50% —
+// of the group's maximum initial source-to-sink distance).
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+
+namespace streak {
+
+/// A sink whose distance is short enough to break its family's bound; the
+/// refinement stage (Alg. 4) lengthens exactly these connections.
+struct PinDeviation {
+    int routedBitIndex = 0;  // into RoutedDesign::bits
+    int pinIndex = 0;        // into the bit's pins
+    int distance = 0;        // current source-to-sink distance
+    int familyMax = 0;       // longest distance in the family
+};
+
+struct GroupDistanceReport {
+    int groupIndex = 0;
+    int maxInitialDistance = 0;
+    int threshold = 0;  // absolute units
+    int violatingFamilies = 0;
+    int maxDeviation = 0;
+    std::vector<PinDeviation> violations;
+
+    [[nodiscard]] bool violating() const { return violatingFamilies > 0; }
+};
+
+/// Analyze every group of a routed design. When `fixedThresholds` is
+/// given (group-indexed, -1 = compute), those thresholds are reused —
+/// Table II compares post-refinement violations against the *initial*
+/// thresholds.
+[[nodiscard]] std::vector<GroupDistanceReport> analyzeDistances(
+    const RoutingProblem& prob, const RoutedDesign& routed,
+    double thresholdFraction,
+    const std::vector<int>* fixedThresholds = nullptr);
+
+/// Number of groups with at least one violating family ("Vio(dst)").
+[[nodiscard]] int countViolatingGroups(
+    const std::vector<GroupDistanceReport>& reports);
+
+/// One sink of one routed bit tagged with its correspondence family.
+struct FamilyMember {
+    int routedBitIndex = 0;  // into RoutedDesign::bits
+    int pinIndex = 0;        // into the bit's pins (never the driver)
+    int familyId = 0;        // canonical pin id within the group
+};
+
+/// The sink-correspondence families of every group (group-indexed): pin
+/// maps within objects, driver-weighted SV matching across objects. Both
+/// the distance analysis and the timing-skew analysis consume this.
+[[nodiscard]] std::vector<std::vector<FamilyMember>> buildSinkFamilies(
+    const RoutingProblem& prob, const RoutedDesign& routed);
+
+}  // namespace streak

@@ -1,0 +1,35 @@
+// Hierarchical two-stage ILP (the paper's future-work direction: divide
+// the routing problem and solve subproblems to improve ILP scalability).
+//
+// Stage 1 decides each object's *topology*: the candidate set is reduced
+// to the cheapest layer pair per backbone, which shrinks the quadratic
+// pair terms dramatically. Stage 2 fixes the chosen backbones and decides
+// the *layering* among the full candidates. Each stage is an exact ILP on
+// a much smaller model, so the cascade scales well beyond where the flat
+// formulation times out, at a small optimality cost.
+#pragma once
+
+#include "core/ilp_router.hpp"
+#include "core/problem.hpp"
+
+namespace streak {
+
+/// A candidate-filtered view of a problem, with index maps back into the
+/// original candidate sets.
+struct FilteredProblem {
+    RoutingProblem prob;
+    /// toOriginal[i][j] = original candidate index of filtered candidate j.
+    std::vector<std::vector<int>> toOriginal;
+};
+
+/// Restrict every object's candidate set to `keep[i]` (indices into the
+/// original set, order preserved). Pair-cost blocks are sliced to match.
+[[nodiscard]] FilteredProblem filterProblem(
+    const RoutingProblem& src, const std::vector<std::vector<int>>& keep);
+
+/// Two-stage hierarchical ILP; interface mirrors solveIlpRouting.
+[[nodiscard]] IlpRouteResult solveIlpHierarchical(
+    const RoutingProblem& prob, double timeLimitSeconds,
+    const RoutingSolution* warmStart = nullptr);
+
+}  // namespace streak

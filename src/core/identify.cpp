@@ -1,0 +1,117 @@
+#include "core/identify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace streak {
+
+namespace {
+
+/// Canonical per-bit pin ordering: driver first, then sinks sorted by
+/// (SV, offset from driver). Bits with equal signatures are isomorphic and
+/// their pins correspond rank-by-rank under this ordering.
+struct CanonicalPins {
+    /// order[r] = pin index holding canonical rank r.
+    std::vector<int> order;
+    /// signature entry per rank: (sv key material, for exactness the full
+    /// SV array) — offsets are excluded so that bits with the same
+    /// directional structure but different stretches still match.
+    std::vector<SimilarityVector> signature;
+};
+
+CanonicalPins canonicalize(const Bit& bit) {
+    const std::vector<SimilarityVector> svs = bitSimilarities(bit);
+    const geom::Point d = bit.driverPin();
+
+    struct Entry {
+        SimilarityVector sv;
+        int dx;
+        int dy;
+        int pin;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(bit.pins.size());
+    for (int i = 0; i < bit.numPins(); ++i) {
+        if (i == bit.driver) continue;
+        const geom::Point p = bit.pins[static_cast<size_t>(i)];
+        entries.push_back({svs[static_cast<size_t>(i)], p.x - d.x, p.y - d.y, i});
+    }
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+        return std::tie(a.sv, a.dx, a.dy, a.pin) <
+               std::tie(b.sv, b.dx, b.dy, b.pin);
+    });
+
+    CanonicalPins cp;
+    cp.order.push_back(bit.driver);
+    cp.signature.push_back(svs[static_cast<size_t>(bit.driver)]);
+    for (const Entry& e : entries) {
+        cp.order.push_back(e.pin);
+        cp.signature.push_back(e.sv);
+    }
+    return cp;
+}
+
+}  // namespace
+
+std::vector<RoutingObject> identifyObjects(const SignalGroup& group,
+                                           int groupIndex) {
+    // Stage 1: bucket by driver SV (cheap separator, Fig. 5(b) middle
+    // level). Stage 2: inside each bucket, bucket by the full canonical
+    // signature. std::map keys keep the result deterministic.
+    struct Member {
+        int bit;
+        CanonicalPins canon;
+    };
+    std::map<std::vector<SimilarityVector>, std::vector<Member>> buckets;
+    for (int b = 0; b < group.width(); ++b) {
+        CanonicalPins cp = canonicalize(group.bits[static_cast<size_t>(b)]);
+        auto key = cp.signature;  // driver SV is signature[0]: stage 1 is
+                                  // the first comparison of the key
+        buckets[std::move(key)].push_back({b, std::move(cp)});
+    }
+
+    std::vector<RoutingObject> objects;
+    for (auto& [sig, members] : buckets) {
+        RoutingObject obj;
+        obj.groupIndex = groupIndex;
+        for (const Member& m : members) obj.bitIndices.push_back(m.bit);
+
+        // Representative: the bit whose driver is the median of the
+        // object's driver positions (a center-region bit, Sec. III-B1).
+        std::vector<std::pair<geom::Point, int>> drivers;
+        for (size_t k = 0; k < members.size(); ++k) {
+            drivers.emplace_back(
+                group.bits[static_cast<size_t>(members[k].bit)].driverPin(),
+                static_cast<int>(k));
+        }
+        std::sort(drivers.begin(), drivers.end());
+        obj.representativeBit = drivers[drivers.size() / 2].second;
+
+        // Pin maps: rank-by-rank correspondence through canonical orders.
+        const CanonicalPins& repCanon =
+            members[static_cast<size_t>(obj.representativeBit)].canon;
+        for (const Member& m : members) {
+            std::vector<int> map(m.canon.order.size(), -1);
+            for (size_t rank = 0; rank < m.canon.order.size(); ++rank) {
+                map[static_cast<size_t>(m.canon.order[rank])] =
+                    repCanon.order[rank];
+            }
+            obj.pinMaps.push_back(std::move(map));
+        }
+        objects.push_back(std::move(obj));
+    }
+    return objects;
+}
+
+std::vector<RoutingObject> identifyObjects(const Design& design) {
+    std::vector<RoutingObject> all;
+    for (int g = 0; g < design.numGroups(); ++g) {
+        auto objs = identifyObjects(design.groups[static_cast<size_t>(g)], g);
+        all.insert(all.end(), std::make_move_iterator(objs.begin()),
+                   std::make_move_iterator(objs.end()));
+    }
+    return all;
+}
+
+}  // namespace streak

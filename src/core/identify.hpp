@@ -1,0 +1,40 @@
+// Hierarchical identification of signal isomorphism (Sec. III-A).
+//
+// Partitions each signal group into routing objects: maximal subsets of
+// bits whose pins carry pairwise-identical similarity vectors, so every
+// bit in an object can adopt an equivalent topology. Identification is
+// hierarchical — bits are first bucketed by the driver's SV (cheap), then
+// by the full per-pin SV signature — matching the paper's two-level
+// strategy (Fig. 5(b)).
+#pragma once
+
+#include <vector>
+
+#include "core/signal.hpp"
+#include "core/similarity.hpp"
+
+namespace streak {
+
+/// One routing object: a set of isomorphic bits of one group.
+struct RoutingObject {
+    int groupIndex = 0;
+    std::vector<int> bitIndices;  // into group.bits
+    int representativeBit = 0;    // into bitIndices (a center-region bit)
+    /// pinMaps[k][i] = pin index in the representative bit corresponding to
+    /// pin i of bitIndices[k]. pinMaps is aligned with bitIndices; the
+    /// representative maps to itself.
+    std::vector<std::vector<int>> pinMaps;
+
+    [[nodiscard]] int width() const { return static_cast<int>(bitIndices.size()); }
+};
+
+/// Partition `group` (at index `groupIndex` in its design) into routing
+/// objects. Deterministic; preserves bit order inside objects.
+[[nodiscard]] std::vector<RoutingObject> identifyObjects(
+    const SignalGroup& group, int groupIndex);
+
+/// Convenience: identify every group of a design; objects are concatenated
+/// in group order.
+[[nodiscard]] std::vector<RoutingObject> identifyObjects(const Design& design);
+
+}  // namespace streak

@@ -1,0 +1,303 @@
+#include "core/ilp_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <numeric>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/model.hpp"
+
+namespace streak {
+
+namespace {
+
+/// Union-find over object indices.
+class UnionFind {
+public:
+    explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+    int find(int a) {
+        while (parent_[static_cast<size_t>(a)] != a) {
+            parent_[static_cast<size_t>(a)] =
+                parent_[static_cast<size_t>(parent_[static_cast<size_t>(a)])];
+            a = parent_[static_cast<size_t>(a)];
+        }
+        return a;
+    }
+    void unite(int a, int b) { parent_[static_cast<size_t>(find(a))] = find(b); }
+
+private:
+    std::vector<int> parent_;
+};
+
+/// Edges whose worst-case total demand exceeds capacity; only these need
+/// capacity rows, and only they couple otherwise-independent objects.
+std::map<int, std::vector<int>> constrainedEdges(const RoutingProblem& prob) {
+    // maxUse[edge][object] = max tracks any candidate of the object may
+    // put on the edge.
+    std::map<int, std::map<int, int>> maxUse;
+    for (int i = 0; i < prob.numObjects(); ++i) {
+        for (const RouteCandidate& c : prob.candidates[static_cast<size_t>(i)]) {
+            for (const auto& [edge, amount] : c.edgeUse) {
+                int& slot = maxUse[edge][i];
+                slot = std::max(slot, amount);
+            }
+        }
+    }
+    std::map<int, std::vector<int>> out;
+    for (const auto& [edge, users] : maxUse) {
+        long worst = 0;
+        for (const auto& [obj, amount] : users) worst += amount;
+        if (worst > prob.design->grid.capacity(edge)) {
+            std::vector<int> objs;
+            objs.reserve(users.size());
+            for (const auto& [obj, amount] : users) objs.push_back(obj);
+            out.emplace(edge, std::move(objs));
+        }
+    }
+    return out;
+}
+
+/// Via analogue of constrainedEdges: cells whose worst-case via demand
+/// exceeds the cell's via capacity (empty when the model is disabled).
+std::map<int, std::vector<int>> constrainedViaCells(
+    const RoutingProblem& prob) {
+    std::map<int, std::vector<int>> out;
+    if (!prob.design->grid.viaLimited()) return out;
+    std::map<int, std::map<int, int>> maxUse;
+    for (int i = 0; i < prob.numObjects(); ++i) {
+        for (const RouteCandidate& c : prob.candidates[static_cast<size_t>(i)]) {
+            for (const auto& [cell, amount] : c.viaUse) {
+                int& slot = maxUse[cell][i];
+                slot = std::max(slot, amount);
+            }
+        }
+    }
+    for (const auto& [cell, users] : maxUse) {
+        const int cap = prob.design->grid.viaCapacity(cell);
+        if (cap < 0) continue;
+        long worst = 0;
+        for (const auto& [obj, amount] : users) worst += amount;
+        if (worst > cap) {
+            std::vector<int> objs;
+            objs.reserve(users.size());
+            for (const auto& [obj, amount] : users) objs.push_back(obj);
+            out.emplace(cell, std::move(objs));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Objective contribution of a component under a given assignment.
+double componentObjective(const RoutingProblem& prob,
+                          const std::vector<int>& objs,
+                          const std::vector<int>& chosen) {
+    double total = 0.0;
+    for (const int i : objs) {
+        const int j = chosen[static_cast<size_t>(i)];
+        if (j < 0) {
+            total += prob.opts.nonRoutePenaltyM;
+        } else {
+            total += prob.candidates[static_cast<size_t>(i)]
+                                    [static_cast<size_t>(j)].cost;
+        }
+    }
+    std::vector<bool> inComp(chosen.size(), false);
+    for (const int i : objs) inComp[static_cast<size_t>(i)] = true;
+    for (const PairBlock& pb : prob.pairBlocks) {
+        if (!inComp[static_cast<size_t>(pb.objA)]) continue;
+        const int ja = chosen[static_cast<size_t>(pb.objA)];
+        const int jb = chosen[static_cast<size_t>(pb.objB)];
+        if (ja >= 0 && jb >= 0) {
+            total += pb.cost[static_cast<size_t>(ja)][static_cast<size_t>(jb)];
+        }
+    }
+    return total;
+}
+
+}  // namespace
+
+IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
+                               double timeLimitSeconds,
+                               const RoutingSolution* warmStart) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto remaining = [&] {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return timeLimitSeconds - elapsed.count();
+    };
+
+    IlpRouteResult result;
+    if (warmStart != nullptr) {
+        result.solution.chosen = warmStart->chosen;
+    } else {
+        result.solution.chosen.assign(static_cast<size_t>(prob.numObjects()),
+                                      -1);
+    }
+
+    const std::map<int, std::vector<int>> tightEdges = constrainedEdges(prob);
+    const std::map<int, std::vector<int>> tightCells =
+        constrainedViaCells(prob);
+
+    // Component decomposition: same-group objects interact through pair
+    // costs; objects sharing a tight edge or via cell interact through
+    // capacity.
+    UnionFind uf(prob.numObjects());
+    for (const std::vector<int>& members : prob.groupObjects) {
+        for (size_t k = 1; k < members.size(); ++k) {
+            uf.unite(members[0], members[k]);
+        }
+    }
+    for (const auto& [edge, objs] : tightEdges) {
+        for (size_t k = 1; k < objs.size(); ++k) uf.unite(objs[0], objs[k]);
+    }
+    for (const auto& [cell, objs] : tightCells) {
+        for (size_t k = 1; k < objs.size(); ++k) uf.unite(objs[0], objs[k]);
+    }
+    std::map<int, std::vector<int>> componentMap;
+    for (int i = 0; i < prob.numObjects(); ++i) {
+        componentMap[uf.find(i)].push_back(i);
+    }
+    result.components = static_cast<int>(componentMap.size());
+
+    // Smallest components first: under a shared time budget this proves
+    // as many components optimal as possible before the limit bites.
+    std::vector<std::pair<int, std::vector<int>>> components(
+        componentMap.begin(), componentMap.end());
+    std::stable_sort(components.begin(), components.end(),
+                     [&](const auto& a, const auto& b) {
+                         size_t ca = 0, cb = 0;
+                         for (const int i : a.second) {
+                             ca += prob.candidates[static_cast<size_t>(i)].size();
+                         }
+                         for (const int i : b.second) {
+                             cb += prob.candidates[static_cast<size_t>(i)].size();
+                         }
+                         return ca < cb;
+                     });
+
+    for (const auto& [root, objs] : components) {
+        ilp::Model model;
+        // x variables per (object, candidate); s per object.
+        std::map<std::pair<int, int>, int> xVar;
+        std::map<int, int> sVar;
+        for (const int i : objs) {
+            const auto& cands = prob.candidates[static_cast<size_t>(i)];
+            for (size_t j = 0; j < cands.size(); ++j) {
+                xVar[{i, static_cast<int>(j)}] =
+                    model.addVariable(cands[j].cost, /*integer=*/true);
+            }
+            sVar[i] = model.addVariable(prob.opts.nonRoutePenaltyM,
+                                        /*integer=*/false);
+        }
+        // (3b): sum_j x_ij + s_i = 1.
+        for (const int i : objs) {
+            std::vector<std::pair<int, double>> row;
+            const auto& cands = prob.candidates[static_cast<size_t>(i)];
+            for (size_t j = 0; j < cands.size(); ++j) {
+                row.emplace_back(xVar.at({i, static_cast<int>(j)}), 1.0);
+            }
+            row.emplace_back(sVar.at(i), 1.0);
+            model.addRow(std::move(row), ilp::Sense::Equal, 1.0);
+        }
+        // (3c): capacity rows on tight edges touched by this component.
+        for (const auto& [edge, users] : tightEdges) {
+            std::vector<std::pair<int, double>> row;
+            for (const int i : users) {
+                if (uf.find(i) != root) continue;
+                const auto& cands = prob.candidates[static_cast<size_t>(i)];
+                for (size_t j = 0; j < cands.size(); ++j) {
+                    const auto& use = cands[j].edgeUse;
+                    const auto it = std::lower_bound(
+                        use.begin(), use.end(), std::make_pair(edge, 0));
+                    if (it != use.end() && it->first == edge) {
+                        row.emplace_back(xVar.at({i, static_cast<int>(j)}),
+                                         static_cast<double>(it->second));
+                    }
+                }
+            }
+            if (!row.empty()) {
+                model.addRow(std::move(row), ilp::Sense::LessEqual,
+                             static_cast<double>(prob.design->grid.capacity(edge)));
+            }
+        }
+        // Via-capacity rows on tight cells touched by this component.
+        for (const auto& [cell, users] : tightCells) {
+            std::vector<std::pair<int, double>> row;
+            for (const int i : users) {
+                if (uf.find(i) != root) continue;
+                const auto& cands = prob.candidates[static_cast<size_t>(i)];
+                for (size_t j = 0; j < cands.size(); ++j) {
+                    const auto& use = cands[j].viaUse;
+                    const auto it = std::lower_bound(
+                        use.begin(), use.end(), std::make_pair(cell, 0));
+                    if (it != use.end() && it->first == cell) {
+                        row.emplace_back(xVar.at({i, static_cast<int>(j)}),
+                                         static_cast<double>(it->second));
+                    }
+                }
+            }
+            if (!row.empty()) {
+                model.addRow(
+                    std::move(row), ilp::Sense::LessEqual,
+                    static_cast<double>(prob.design->grid.viaCapacity(cell)));
+            }
+        }
+        // Linearized pair terms: y >= x_ij + x_pq - 1, cost >= 0.
+        for (const PairBlock& pb : prob.pairBlocks) {
+            if (uf.find(pb.objA) != root) continue;
+            for (size_t j = 0; j < pb.cost.size(); ++j) {
+                for (size_t q = 0; q < pb.cost[j].size(); ++q) {
+                    const double c = pb.cost[j][q];
+                    if (c <= 0.0) continue;
+                    const int y = model.addVariable(c, /*integer=*/false);
+                    model.addRow({{y, 1.0},
+                                  {xVar.at({pb.objA, static_cast<int>(j)}), -1.0},
+                                  {xVar.at({pb.objB, static_cast<int>(q)}), -1.0}},
+                                 ilp::Sense::GreaterEqual, -1.0);
+                }
+            }
+        }
+
+        const double left = remaining();
+        if (left <= 0.0) {
+            // Out of budget: the warm-start assignment (or non-route)
+            // stands for this component.
+            result.hitTimeLimit = true;
+            continue;
+        }
+        ilp::BnbOptions bopts;
+        bopts.timeLimitSeconds = left;
+        if (warmStart != nullptr) {
+            bopts.initialUpperBound =
+                componentObjective(prob, objs, warmStart->chosen);
+        }
+        ilp::BnbStats stats;
+        const ilp::Solution sol = ilp::solveIlp(model, bopts, &stats);
+        result.nodesExplored += stats.nodesExplored;
+        if (stats.hitLimit) result.hitTimeLimit = true;
+        if (!sol.hasSolution()) continue;  // warm start (if any) stands
+        for (const int i : objs) {
+            result.solution.chosen[static_cast<size_t>(i)] = -1;
+        }
+        for (const auto& [key, var] : xVar) {
+            if (sol.values[static_cast<size_t>(var)] > 0.5) {
+                result.solution.chosen[static_cast<size_t>(key.first)] =
+                    key.second;
+            }
+        }
+    }
+
+    result.solution.hitLimit = result.hitTimeLimit;
+    result.solution.objective =
+        solutionObjective(prob, result.solution.chosen);
+    return result;
+}
+
+}  // namespace streak

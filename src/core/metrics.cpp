@@ -1,0 +1,59 @@
+#include "core/metrics.hpp"
+
+#include <map>
+
+#include "core/regularity.hpp"
+#include "steiner/rsmt.hpp"
+
+namespace streak {
+
+Metrics evaluate(const RoutingProblem& prob, const RoutedDesign& routed) {
+    const Design& design = *prob.design;
+    Metrics m;
+    m.totalBits = design.numNets();
+    m.routedBits = routed.routedBits();
+    m.routability = m.totalBits == 0
+                        ? 1.0
+                        : static_cast<double>(m.routedBits) / m.totalBits;
+
+    for (const RoutedBit& b : routed.bits) m.wirelength += b.topo.wirelength();
+    // The paper reports whole-design wire-length: unrouted bits are
+    // estimated with a rectilinear Steiner minimum tree.
+    for (const auto& [objIdx, member] : routed.unroutedMembers) {
+        const RoutingObject& obj = prob.objects[static_cast<size_t>(objIdx)];
+        const SignalGroup& g =
+            design.groups[static_cast<size_t>(obj.groupIndex)];
+        const Bit& bit = g.bits[static_cast<size_t>(
+            obj.bitIndices[static_cast<size_t>(member)])];
+        steiner::EnumerateOptions eopts;
+        eopts.maxCandidates = 1;
+        const auto topos =
+            steiner::enumerateTopologies(bit.pins, bit.driver, eopts);
+        if (!topos.empty()) m.wirelength += topos.front().wirelength();
+    }
+
+    // Avg(Reg): per group, one representative topology per cluster.
+    std::map<int, std::map<int, const steiner::Topology*>> groupClusters;
+    for (const RoutedBit& b : routed.bits) {
+        auto& clusters = groupClusters[b.groupIndex];
+        clusters.emplace(b.clusterKey, &b.topo);  // keeps the first bit
+    }
+    double regSum = 0.0;
+    int regGroups = 0;
+    for (const auto& [group, clusters] : groupClusters) {
+        if (clusters.size() < 2) continue;
+        std::vector<const steiner::Topology*> reps;
+        reps.reserve(clusters.size());
+        for (const auto& [key, topo] : clusters) reps.push_back(topo);
+        regSum += groupRegularity(reps);
+        ++regGroups;
+    }
+    m.avgRegularity = regGroups == 0 ? 1.0 : regSum / regGroups;
+
+    m.totalOverflow = routed.usage.totalOverflow();
+    m.overflowedEdges = routed.usage.overflowedEdges();
+    m.totalViaOverflow = routed.usage.totalViaOverflow();
+    return m;
+}
+
+}  // namespace streak

@@ -1,0 +1,55 @@
+// Knobs for the whole Streak flow, grouped in one place so benches and
+// ablations can tweak a single struct.
+#pragma once
+
+#include "core/backbone.hpp"
+
+namespace streak {
+
+enum class SolverKind {
+    PrimalDual,       // Alg. 2 (fast, near-ILP quality)
+    Ilp,              // exact formulation (3), time-capped
+    IlpHierarchical,  // two-stage topology-then-layering ILP (future-work
+                      // divide-and-conquer extension; see hier_ilp.hpp)
+};
+
+struct StreakOptions {
+    BackboneOptions backbone;
+
+    // --- 3-D candidate expansion ---
+    /// How many (hLayer, vLayer) pairs to expand each backbone into.
+    int maxLayerPairs = 3;
+    /// Cost per via (bend / pin access) in c(i, j).
+    double viaWeight = 2.0;
+    /// Extra cost per unit of |hLayer - vLayer| - 1 (non-adjacent trunk
+    /// layers waste via stacks).
+    double layerAdjacencyWeight = 1.0;
+
+    // --- formulation (3) weights ---
+    /// M: penalty for a non-routed object (3a). Must dominate any cost.
+    double nonRoutePenaltyM = 1e6;
+    /// Scale of the irregularity term 1/Ratio - 1 between group mates.
+    double irregularityWeight = 50.0;
+    /// Pair penalty when two objects share no RC at all (< M).
+    double noSharePenalty = 1e3;
+    /// Penalty per layer of difference between the trunk layers of two
+    /// group mates ("...if the RCs are shared but the routed layers are
+    /// not adjacent, a penalty proportional to the layer difference").
+    double pairLayerWeight = 2.0;
+
+    // --- solver selection ---
+    SolverKind solver = SolverKind::PrimalDual;
+    double ilpTimeLimitSeconds = 60.0;
+
+    // --- post optimization (Sec. IV) ---
+    bool postOptimize = false;
+    bool clusteringEnabled = true;   // Fig. 14 ablation switch
+    bool refinementEnabled = true;   // Fig. 15 ablation switch
+    /// Source-to-sink deviation threshold as a fraction of the group's
+    /// maximum initial source-to-sink distance (the paper uses 50%).
+    double distanceThresholdFraction = 0.5;
+    /// Maximum shift distance explored when twisting detours (Alg. 4).
+    int maxDetourShift = 12;
+};
+
+}  // namespace streak

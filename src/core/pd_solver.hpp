@@ -1,0 +1,26 @@
+// Primal-dual selection flow (Sec. III-D, Algorithm 2).
+//
+// A progressive primal-dual scheme over the linearized formulation
+// (Eq. 4-6): starting from the all-zero (primal infeasible, dual feasible)
+// point, the cheapest feasible candidate — base cost c(i, j) plus the
+// linearized pair cost c'(i, j) — is committed each iteration; capacities
+// are updated, newly infeasible candidates are pruned, and c' values are
+// refreshed for the affected group mates.
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+
+namespace streak {
+
+struct PdResult {
+    RoutingSolution solution;
+    /// Lower bound certified by the dual construction (sum of per-object
+    /// minimum admissible costs at commit time).
+    double dualBound = 0.0;
+    int iterations = 0;
+};
+
+[[nodiscard]] PdResult solvePrimalDual(const RoutingProblem& prob);
+
+}  // namespace streak

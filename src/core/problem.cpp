@@ -1,0 +1,93 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/regularity.hpp"
+
+namespace streak {
+
+double RoutingProblem::costLowerBound() const {
+    double lb = 0.0;
+    for (const auto& cands : candidates) {
+        if (cands.empty()) continue;  // forced non-route contributes M >= 0
+        double best = cands.front().cost;
+        for (const RouteCandidate& c : cands) best = std::min(best, c.cost);
+        lb += best;
+    }
+    return lb;
+}
+
+RoutingProblem buildProblem(const Design& design, const StreakOptions& opts) {
+    RoutingProblem prob;
+    prob.design = &design;
+    prob.opts = opts;
+    prob.objects = identifyObjects(design);
+
+    prob.groupObjects.assign(static_cast<size_t>(design.numGroups()), {});
+    for (size_t i = 0; i < prob.objects.size(); ++i) {
+        prob.groupObjects[static_cast<size_t>(prob.objects[i].groupIndex)]
+            .push_back(static_cast<int>(i));
+    }
+
+    prob.candidates.reserve(prob.objects.size());
+    for (const RoutingObject& obj : prob.objects) {
+        prob.candidates.push_back(generateCandidates(design, obj, opts));
+    }
+
+    // Pairwise regularity costs between objects of one group. The
+    // Ratio() part depends only on the backbone pair; cache it so that
+    // layer-pair expansion does not multiply the matching work.
+    prob.pairsOf.assign(prob.objects.size(), {});
+    for (const std::vector<int>& members : prob.groupObjects) {
+        for (size_t a = 0; a < members.size(); ++a) {
+            for (size_t b = a + 1; b < members.size(); ++b) {
+                const int i = members[a];
+                const int p = members[b];
+                const auto& candsI = prob.candidates[static_cast<size_t>(i)];
+                const auto& candsP = prob.candidates[static_cast<size_t>(p)];
+                if (candsI.empty() || candsP.empty()) continue;
+
+                std::map<std::pair<int, int>, double> ratioCache;
+                PairBlock block;
+                block.objA = i;
+                block.objB = p;
+                block.cost.assign(candsI.size(),
+                                  std::vector<double>(candsP.size(), 0.0));
+                for (size_t j = 0; j < candsI.size(); ++j) {
+                    for (size_t q = 0; q < candsP.size(); ++q) {
+                        const auto key = std::make_pair(candsI[j].backboneId,
+                                                        candsP[q].backboneId);
+                        auto it = ratioCache.find(key);
+                        if (it == ratioCache.end()) {
+                            it = ratioCache
+                                     .emplace(key, regularityRatio(
+                                                       candsI[j].backbone,
+                                                       candsP[q].backbone))
+                                     .first;
+                        }
+                        const double ratio = it->second;
+                        double c = 0.0;
+                        if (ratio <= 0.0) {
+                            c = opts.noSharePenalty;
+                        } else {
+                            c = opts.irregularityWeight * (1.0 / ratio - 1.0);
+                        }
+                        c += opts.pairLayerWeight *
+                             (std::abs(candsI[j].hLayer - candsP[q].hLayer) +
+                              std::abs(candsI[j].vLayer - candsP[q].vLayer));
+                        block.cost[j][q] = c;
+                    }
+                }
+                const int blockId = static_cast<int>(prob.pairBlocks.size());
+                prob.pairBlocks.push_back(std::move(block));
+                prob.pairsOf[static_cast<size_t>(i)].push_back(blockId);
+                prob.pairsOf[static_cast<size_t>(p)].push_back(blockId);
+            }
+        }
+    }
+    return prob;
+}
+
+}  // namespace streak

@@ -1,0 +1,95 @@
+#include "core/regularity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "core/similarity.hpp"
+
+namespace streak {
+
+namespace {
+
+struct MatchView {
+    std::vector<geom::Point> points;
+    std::vector<SimilarityVector> svs;
+    steiner::TopoStructure st;
+};
+
+MatchView makeView(const steiner::Topology& t) {
+    MatchView mv;
+    mv.st = t.structure();
+    mv.points.reserve(mv.st.nodes.size());
+    int driverNode = -1;
+    for (size_t i = 0; i < mv.st.nodes.size(); ++i) {
+        mv.points.push_back(mv.st.nodes[i].pt);
+        if (mv.st.nodes[i].pinIndex == t.driverIndex()) {
+            driverNode = static_cast<int>(i);
+        }
+    }
+    const int weight = static_cast<int>(mv.points.size()) + 1;
+    mv.svs.reserve(mv.points.size());
+    for (size_t i = 0; i < mv.points.size(); ++i) {
+        mv.svs.push_back(weightedSimilarity(mv.points, static_cast<int>(i),
+                                            driverNode, weight));
+    }
+    return mv;
+}
+
+}  // namespace
+
+double regularityRatio(const steiner::Topology& t1,
+                       const steiner::Topology& t2) {
+    const MatchView a = makeView(t1);
+    const MatchView b = makeView(t2);
+    const int nrc = std::min(a.st.numRCs(), b.st.numRCs());
+    if (nrc == 0) return 1.0;  // trivially shared (no connections to differ)
+
+    // Closest-SV matching of every node of t1 to a node of t2 (many-to-one
+    // allowed — a bend can map to a sink, Fig. 3(a) discussion). Ties break
+    // towards geometric proximity for determinism.
+    std::vector<int> match(a.points.size(), -1);
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        int best = -1;
+        long bestKey = std::numeric_limits<long>::max();
+        for (size_t j = 0; j < b.points.size(); ++j) {
+            const long key =
+                static_cast<long>(svDistance(a.svs[i], b.svs[j])) * 1000000 +
+                manhattan(a.points[i], b.points[j]);
+            if (key < bestKey) {
+                bestKey = key;
+                best = static_cast<int>(j);
+            }
+        }
+        match[i] = best;
+    }
+
+    std::set<std::pair<int, int>> rcSet;
+    for (const auto& [u, v] : b.st.rcs) {
+        rcSet.insert({std::min(u, v), std::max(u, v)});
+    }
+    int matched = 0;
+    for (const auto& [u, v] : a.st.rcs) {
+        const int mu = match[static_cast<size_t>(u)];
+        const int mv = match[static_cast<size_t>(v)];
+        if (mu == mv) continue;
+        if (rcSet.contains({std::min(mu, mv), std::max(mu, mv)})) ++matched;
+    }
+    return std::min(1.0, static_cast<double>(matched) / nrc);
+}
+
+double groupRegularity(
+    const std::vector<const steiner::Topology*>& objectTopologies) {
+    const int n = static_cast<int>(objectTopologies.size());
+    if (n < 2) return 1.0;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        for (int p = i + 1; p < n; ++p) {
+            sum += regularityRatio(*objectTopologies[static_cast<size_t>(i)],
+                                   *objectTopologies[static_cast<size_t>(p)]);
+        }
+    }
+    return 2.0 * sum / (static_cast<double>(n) * (n - 1));
+}
+
+}  // namespace streak

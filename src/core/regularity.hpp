@@ -1,0 +1,27 @@
+// Regularity evaluation (Sec. III-B3, Eq. 2 and Eq. 9).
+//
+// Objects of one group cannot always share a single topology; the
+// regularity ratio quantifies how similar two topologies are by matching
+// their feature points (pins and bends) through driver-weighted similarity
+// vectors and counting preserved rectilinear connections.
+#pragma once
+
+#include <vector>
+
+#include "steiner/topology.hpp"
+
+namespace streak {
+
+/// Ratio(t1, t2) of Eq. (2): matched RCs over the smaller RC count, in
+/// [0, 1]. Topologies without any RC (single-point bits) are trivially
+/// regular (ratio 1).
+[[nodiscard]] double regularityRatio(const steiner::Topology& t1,
+                                     const steiner::Topology& t2);
+
+/// Reg of Eq. (9): mean pairwise ratio over the given object solutions of
+/// one group. Groups with fewer than two objects are trivially regular
+/// (returns 1).
+[[nodiscard]] double groupRegularity(
+    const std::vector<const steiner::Topology*>& objectTopologies);
+
+}  // namespace streak

@@ -1,0 +1,79 @@
+// The signal-group data model (Sec. II of the paper).
+//
+// A Design bundles a routing grid with user-defined signal groups. Each
+// group is a set of performance-critical bits with pins in adjacent
+// locations that must share common topologies; each bit is one net with a
+// driver pin and one or more sinks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace streak {
+
+/// One net of a signal group: a driver pin plus sinks on the G-Cell grid.
+struct Bit {
+    std::string name;
+    std::vector<geom::Point> pins;
+    int driver = 0;  // index into pins
+
+    [[nodiscard]] geom::Point driverPin() const {
+        return pins[static_cast<size_t>(driver)];
+    }
+    [[nodiscard]] int numPins() const { return static_cast<int>(pins.size()); }
+};
+
+/// A user-defined bundle of bits required to share common topologies
+/// (Definition 1).
+struct SignalGroup {
+    std::string name;
+    std::vector<Bit> bits;
+
+    [[nodiscard]] int width() const { return static_cast<int>(bits.size()); }
+};
+
+/// A complete routing instance: grid plus signal groups.
+struct Design {
+    std::string name;
+    grid::RoutingGrid grid;
+    std::vector<SignalGroup> groups;
+
+    [[nodiscard]] int numGroups() const { return static_cast<int>(groups.size()); }
+
+    /// Total number of nets (bits) over all groups ("#Net" in Table I).
+    [[nodiscard]] int numNets() const {
+        int n = 0;
+        for (const SignalGroup& g : groups) n += g.width();
+        return n;
+    }
+
+    /// Maximum pin count over all nets ("Np_max").
+    [[nodiscard]] int maxPins() const {
+        int m = 0;
+        for (const SignalGroup& g : groups) {
+            for (const Bit& b : g.bits) m = std::max(m, b.numPins());
+        }
+        return m;
+    }
+
+    /// Maximum group width ("W_max").
+    [[nodiscard]] int maxWidth() const {
+        int m = 0;
+        for (const SignalGroup& g : groups) m = std::max(m, g.width());
+        return m;
+    }
+
+    /// Total pin count (x axis of the Fig. 13 scalability study).
+    [[nodiscard]] long totalPins() const {
+        long n = 0;
+        for (const SignalGroup& g : groups) {
+            for (const Bit& b : g.bits) n += b.numPins();
+        }
+        return n;
+    }
+};
+
+}  // namespace streak

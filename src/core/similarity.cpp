@@ -1,0 +1,66 @@
+#include "core/similarity.hpp"
+
+#include <cassert>
+
+namespace streak {
+
+int directionIndex(geom::Point from, geom::Point to) {
+    const int dx = to.x - from.x;
+    const int dy = to.y - from.y;
+    assert(dx != 0 || dy != 0);
+    if (dy == 0) return dx > 0 ? 0 : 4;
+    if (dx == 0) return dy > 0 ? 2 : 6;
+    if (dx > 0) return dy > 0 ? 1 : 7;
+    return dy > 0 ? 3 : 5;
+}
+
+SimilarityVector pinSimilarity(const Bit& bit, int pinIndex) {
+    SimilarityVector sv;
+    const geom::Point self = bit.pins[static_cast<size_t>(pinIndex)];
+    for (int i = 0; i < bit.numPins(); ++i) {
+        if (i == pinIndex) continue;
+        const geom::Point other = bit.pins[static_cast<size_t>(i)];
+        if (other == self) continue;
+        ++sv.v[static_cast<size_t>(directionIndex(self, other))];
+    }
+    return sv;
+}
+
+std::vector<SimilarityVector> bitSimilarities(const Bit& bit) {
+    std::vector<SimilarityVector> out;
+    out.reserve(bit.pins.size());
+    for (int i = 0; i < bit.numPins(); ++i) out.push_back(pinSimilarity(bit, i));
+    return out;
+}
+
+SimilarityVector weightedSimilarity(const std::vector<geom::Point>& points,
+                                    int self, int driverIndex,
+                                    int driverWeight) {
+    SimilarityVector sv;
+    const geom::Point p = points[static_cast<size_t>(self)];
+    for (int i = 0; i < static_cast<int>(points.size()); ++i) {
+        if (i == self) continue;
+        const geom::Point q = points[static_cast<size_t>(i)];
+        if (q == p) continue;
+        const int w = i == driverIndex ? driverWeight : 1;
+        sv.v[static_cast<size_t>(directionIndex(p, q))] += w;
+    }
+    return sv;
+}
+
+int svDistance(const SimilarityVector& a, const SimilarityVector& b) {
+    int d = 0;
+    for (size_t i = 0; i < a.v.size(); ++i) d += std::abs(a.v[i] - b.v[i]);
+    return d;
+}
+
+std::uint64_t svKey(const SimilarityVector& sv) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const int c : sv.v) {
+        h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+}  // namespace streak

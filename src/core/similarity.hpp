@@ -1,0 +1,56 @@
+// The quadrant-based similarity vector model (Sec. II-D, Eq. 1).
+//
+// SV(p) records, for a pin p of a bit, how many of the bit's other pins
+// lie in each of eight directions around p (the four axes and the four
+// open quadrants), in counter-clockwise order starting at +x:
+//   index 0: +x axis, 1: quadrant I, 2: +y axis, 3: quadrant II,
+//   index 4: -x axis, 5: quadrant III, 6: -y axis, 7: quadrant IV.
+//
+// Pins with equal SVs across bits correspond to each other; this single
+// mechanism drives isomorphism identification, equivalent-topology pin
+// mapping, regularity matching and distance-deviation families.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/signal.hpp"
+#include "geom/point.hpp"
+
+namespace streak {
+
+struct SimilarityVector {
+    std::array<int, 8> v{};
+
+    friend auto operator<=>(const SimilarityVector&,
+                            const SimilarityVector&) = default;
+};
+
+/// Direction index (0..7) of `to` as seen from `from`; the points must
+/// differ.
+[[nodiscard]] int directionIndex(geom::Point from, geom::Point to);
+
+/// SV of pin `pinIndex` within its bit (Eq. 1). Coincident pins are not
+/// counted in any direction.
+[[nodiscard]] SimilarityVector pinSimilarity(const Bit& bit, int pinIndex);
+
+/// SVs for every pin of the bit, index-aligned with bit.pins.
+[[nodiscard]] std::vector<SimilarityVector> bitSimilarities(const Bit& bit);
+
+/// Driver-weighted SV over an arbitrary point set (used for regularity
+/// matching, Sec. III-B3): the driver point contributes `driverWeight`
+/// instead of 1, emphasizing each point's position relative to the driver.
+/// `self` is the index of the point the SV is computed for.
+[[nodiscard]] SimilarityVector weightedSimilarity(
+    const std::vector<geom::Point>& points, int self, int driverIndex,
+    int driverWeight);
+
+/// L1 distance between two similarity vectors ("closest SV" matching).
+[[nodiscard]] int svDistance(const SimilarityVector& a,
+                             const SimilarityVector& b);
+
+/// Order-independent 64-bit key (for hashing/bucketing identical SVs).
+[[nodiscard]] std::uint64_t svKey(const SimilarityVector& sv);
+
+}  // namespace streak

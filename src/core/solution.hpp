@@ -1,0 +1,63 @@
+// Solver output: one selected candidate per routing object (or none), and
+// the materialized per-bit routed design the post-optimization stages and
+// metrics operate on.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "grid/routing_grid.hpp"
+#include "steiner/topology.hpp"
+
+namespace streak {
+
+struct RoutingSolution {
+    /// chosen[i] = selected candidate index for object i, or -1 (s_i = 1).
+    std::vector<int> chosen;
+    /// Value of objective (3a) including M terms and pair terms.
+    double objective = 0.0;
+    bool hitLimit = false;
+};
+
+/// Objective (3a) of a solution: candidate costs + M per unrouted object +
+/// pairwise costs between chosen group mates.
+[[nodiscard]] double solutionObjective(const RoutingProblem& prob,
+                                       const std::vector<int>& chosen);
+
+/// Un-route objects greedily until no edge capacity is exceeded (used to
+/// repair remapped warm starts before handing them to a solver). Returns
+/// the number of objects unrouted.
+int makeCapacityFeasible(const RoutingProblem& prob, RoutingSolution* sol);
+
+/// One routed bit in the final design.
+struct RoutedBit {
+    int groupIndex = 0;
+    int bitIndex = 0;     // into group.bits
+    int objectIndex = 0;  // owning routing object
+    int memberIndex = 0;  // position of bitIndex within the object
+    /// Regularity cluster: bits sharing one topology shape. Solver-routed
+    /// bits use their object index; post-clustering assigns fresh keys.
+    int clusterKey = 0;
+    steiner::Topology topo;
+    int hLayer = 0;
+    int vLayer = 1;
+};
+
+/// The concrete routed design: every routed bit with its topology and
+/// trunk layers, the aggregate track usage, and the leftovers.
+struct RoutedDesign {
+    explicit RoutedDesign(const grid::RoutingGrid& grid) : usage(grid) {}
+
+    grid::EdgeUsage usage;
+    std::vector<RoutedBit> bits;
+    /// (objectIndex, memberIndex) pairs of bits that are not routed.
+    std::vector<std::pair<int, int>> unroutedMembers;
+
+    [[nodiscard]] int routedBits() const { return static_cast<int>(bits.size()); }
+};
+
+/// Expand a per-object solution into per-bit routes with track usage.
+[[nodiscard]] RoutedDesign materialize(const RoutingProblem& prob,
+                                       const RoutingSolution& sol);
+
+}  // namespace streak

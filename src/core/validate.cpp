@@ -1,0 +1,83 @@
+#include "core/validate.hpp"
+
+#include <set>
+
+namespace streak {
+
+namespace {
+
+using Severity = ValidationIssue::Severity;
+
+void add(std::vector<ValidationIssue>* issues, Severity sev,
+         std::string message) {
+    issues->push_back({sev, std::move(message)});
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validateDesign(const Design& design) {
+    std::vector<ValidationIssue> issues;
+
+    int maxCapacity = 0;
+    for (int e = 0; e < design.grid.numEdges(); ++e) {
+        maxCapacity = std::max(maxCapacity, design.grid.capacity(e));
+    }
+
+    for (size_t g = 0; g < design.groups.size(); ++g) {
+        const SignalGroup& group = design.groups[g];
+        const std::string where = "group '" + group.name + "'";
+        if (group.bits.empty()) {
+            add(&issues, Severity::Error, where + " has no bits");
+            continue;
+        }
+        if (group.width() > maxCapacity) {
+            add(&issues, Severity::Warning,
+                where + " is wider (" + std::to_string(group.width()) +
+                    ") than any edge capacity (" +
+                    std::to_string(maxCapacity) +
+                    "); whole-object routing may fail");
+        }
+        for (size_t b = 0; b < group.bits.size(); ++b) {
+            const Bit& bit = group.bits[b];
+            const std::string bitWhere = where + " bit '" + bit.name + "'";
+            if (bit.pins.empty()) {
+                add(&issues, Severity::Error, bitWhere + " has no pins");
+                continue;
+            }
+            if (bit.driver < 0 || bit.driver >= bit.numPins()) {
+                add(&issues, Severity::Error,
+                    bitWhere + " driver index " + std::to_string(bit.driver) +
+                        " out of range");
+                continue;
+            }
+            if (bit.numPins() < 2) {
+                add(&issues, Severity::Error,
+                    bitWhere + " has fewer than 2 pins");
+            }
+            std::set<geom::Point> seen;
+            for (const geom::Point p : bit.pins) {
+                if (!design.grid.contains(p)) {
+                    add(&issues, Severity::Error,
+                        bitWhere + " pin (" + std::to_string(p.x) + "," +
+                            std::to_string(p.y) + ") outside the grid");
+                }
+                if (!seen.insert(p).second) {
+                    add(&issues, Severity::Warning,
+                        bitWhere + " has duplicate pin (" +
+                            std::to_string(p.x) + "," + std::to_string(p.y) +
+                            ")");
+                }
+            }
+        }
+    }
+    return issues;
+}
+
+bool isRoutable(const std::vector<ValidationIssue>& issues) {
+    for (const ValidationIssue& i : issues) {
+        if (i.severity == ValidationIssue::Severity::Error) return false;
+    }
+    return true;
+}
+
+}  // namespace streak

@@ -1,0 +1,28 @@
+// Design lint: structural checks a routing run assumes. Returns
+// human-readable findings instead of throwing so front ends (CLI, file
+// loader) can report everything at once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/signal.hpp"
+
+namespace streak {
+
+struct ValidationIssue {
+    enum class Severity { Error, Warning };
+    Severity severity = Severity::Error;
+    std::string message;
+};
+
+/// Check the design: pins inside the grid, sane driver indices, no
+/// single-pin nets, no empty groups, duplicate pins (warning), groups
+/// wider than any edge capacity (warning — whole-object routing will
+/// need clustering).
+[[nodiscard]] std::vector<ValidationIssue> validateDesign(const Design& design);
+
+/// True if no Error-severity issue is present.
+[[nodiscard]] bool isRoutable(const std::vector<ValidationIssue>& issues);
+
+}  // namespace streak

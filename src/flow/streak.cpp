@@ -1,0 +1,103 @@
+#include "flow/streak.hpp"
+
+#include <chrono>
+
+#include "core/hier_ilp.hpp"
+#include "core/ilp_router.hpp"
+#include "core/pd_solver.hpp"
+#include "post/clustering.hpp"
+#include "post/refine.hpp"
+
+namespace streak {
+
+namespace {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double seconds() const {
+        const std::chrono::duration<double> d =
+            std::chrono::steady_clock::now() - start_;
+        return d.count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+StreakResult runStreak(const Design& design, const StreakOptions& opts) {
+    StreakResult result(design.grid);
+
+    {
+        const Stopwatch sw;
+        result.problem = buildProblem(design, opts);
+        result.buildSeconds = sw.seconds();
+    }
+
+    {
+        const Stopwatch sw;
+        if (opts.solver == SolverKind::Ilp ||
+            opts.solver == SolverKind::IlpHierarchical) {
+            // Warm-start the ILP from the (cheap) primal-dual solution —
+            // the analogue of handing a commercial solver a MIP start; at
+            // the time limit each unfinished component keeps that start.
+            const PdResult warm = solvePrimalDual(result.problem);
+            IlpRouteResult ilp =
+                opts.solver == SolverKind::Ilp
+                    ? solveIlpRouting(result.problem,
+                                      opts.ilpTimeLimitSeconds,
+                                      &warm.solution)
+                    : solveIlpHierarchical(result.problem,
+                                           opts.ilpTimeLimitSeconds,
+                                           &warm.solution);
+            result.solverSolution = std::move(ilp.solution);
+            result.ilpNodes = ilp.nodesExplored;
+            result.hitTimeLimit = ilp.hitTimeLimit;
+        } else {
+            PdResult pd = solvePrimalDual(result.problem);
+            result.solverSolution = std::move(pd.solution);
+            result.pdIterations = pd.iterations;
+        }
+        result.solveSeconds = sw.seconds();
+    }
+
+    result.routed = materialize(result.problem, result.solverSolution);
+
+    {
+        const Stopwatch sw;
+        const std::vector<GroupDistanceReport> before = analyzeDistances(
+            result.problem, result.routed, opts.distanceThresholdFraction);
+        result.distanceViolationsBefore = countViolatingGroups(before);
+        result.distanceViolationsAfter = result.distanceViolationsBefore;
+
+        if (opts.postOptimize) {
+            if (opts.clusteringEnabled) {
+                post::clusterAndRoute(result.problem, &result.routed);
+            }
+            if (opts.refinementEnabled) {
+                const post::RefinementResult ref =
+                    post::refineDistances(result.problem, &result.routed);
+                result.distanceViolationsAfter = ref.violatingGroupsAfter;
+            } else {
+                // Clustering may add bits; re-evaluate with the initial
+                // thresholds for a fair "after" number.
+                std::vector<int> thresholds(before.size(), -1);
+                for (const GroupDistanceReport& r : before) {
+                    thresholds[static_cast<size_t>(r.groupIndex)] = r.threshold;
+                }
+                const auto after = analyzeDistances(
+                    result.problem, result.routed,
+                    opts.distanceThresholdFraction, &thresholds);
+                result.distanceViolationsAfter = countViolatingGroups(after);
+            }
+        }
+        result.postSeconds = sw.seconds();
+    }
+
+    result.metrics = evaluate(result.problem, result.routed);
+    return result;
+}
+
+}  // namespace streak

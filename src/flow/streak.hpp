@@ -1,0 +1,50 @@
+// The Streak flow facade (Fig. 2): identification -> backbone /
+// equivalent-topology generation -> candidate selection via primal-dual
+// or ILP -> optional post optimization (layer prediction + bottom-up
+// clustering + distance refinement).
+//
+// This is the library's main entry point:
+//
+//   streak::Design design = ...;
+//   streak::StreakOptions opts;
+//   opts.solver = streak::SolverKind::PrimalDual;
+//   opts.postOptimize = true;
+//   streak::StreakResult res = streak::runStreak(design, opts);
+//
+// The caller owns the Design and must keep it alive while using the
+// result (the embedded RoutingProblem refers to it).
+#pragma once
+
+#include "core/distance.hpp"
+#include "core/metrics.hpp"
+#include "core/options.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+
+namespace streak {
+
+struct StreakResult {
+    RoutingProblem problem;
+    RoutingSolution solverSolution;
+    RoutedDesign routed;
+    Metrics metrics;
+
+    /// Vio(dst) before / after post optimization ("after" reuses the
+    /// initial thresholds, as in Table II).
+    int distanceViolationsBefore = 0;
+    int distanceViolationsAfter = 0;
+
+    double buildSeconds = 0.0;
+    double solveSeconds = 0.0;
+    double postSeconds = 0.0;
+    bool hitTimeLimit = false;
+    int pdIterations = 0;
+    long ilpNodes = 0;
+
+    explicit StreakResult(const grid::RoutingGrid& grid) : routed(grid) {}
+};
+
+[[nodiscard]] StreakResult runStreak(const Design& design,
+                                     const StreakOptions& opts);
+
+}  // namespace streak

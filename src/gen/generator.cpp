@@ -1,0 +1,282 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace streak::gen {
+
+namespace {
+
+int clampTo(int v, int lo, int hi) { return std::max(lo, std::min(hi, v)); }
+
+/// A routing style: sink offsets relative to the driver (shared by every
+/// bit of the style, so identification groups them into one object).
+struct Style {
+    std::vector<geom::Point> sinkOffsets;
+};
+
+Style makeStyle(std::mt19937* rng, const SuiteSpec& spec, bool multipin,
+                int mainDir) {
+    // mainDir: 0 = +x, 1 = +y, 2 = -x, 3 = -y.
+    std::uniform_int_distribution<int> lenDist(8, std::max(
+        9, std::min(spec.gridWidth, spec.gridHeight) / 2));
+    std::uniform_int_distribution<int> lateralDist(-4, 4);
+    const int numSinks =
+        multipin ? std::uniform_int_distribution<int>(2, spec.maxPins - 1)(*rng)
+                 : 1;
+    Style style;
+    for (int s = 0; s < numSinks; ++s) {
+        const int len = lenDist(*rng);
+        const int lat = s == 0 ? 0 : lateralDist(*rng);
+        geom::Point off{};
+        switch (mainDir) {
+            case 0: off = {len, lat}; break;
+            case 1: off = {lat, len}; break;
+            case 2: off = {-len, lat}; break;
+            default: off = {lat, -len}; break;
+        }
+        if (off == geom::Point{0, 0}) off.x = 1;
+        style.sinkOffsets.push_back(off);
+    }
+    // Dedupe coincident sinks.
+    std::sort(style.sinkOffsets.begin(), style.sinkOffsets.end());
+    style.sinkOffsets.erase(
+        std::unique(style.sinkOffsets.begin(), style.sinkOffsets.end()),
+        style.sinkOffsets.end());
+    return style;
+}
+
+/// A second routing style *related* to the base style (as in Fig. 1: the
+/// styles of one group share most of their shape): one sink is deflected
+/// laterally, which changes its similarity quadrant and therefore splits
+/// the group into two routing objects while keeping the trunks alike.
+Style makeVariantStyle(std::mt19937* rng, const Style& base, int mainDir) {
+    Style variant = base;
+    std::uniform_int_distribution<int> pick(
+        0, static_cast<int>(variant.sinkOffsets.size()) - 1);
+    std::uniform_int_distribution<int> deflect(2, 5);
+    geom::Point& off = variant.sinkOffsets[static_cast<size_t>(pick(*rng))];
+    const int d = deflect(*rng);
+    const bool mainHorizontal = mainDir == 0 || mainDir == 2;
+    if (mainHorizontal) {
+        off.y += off.y >= 0 ? d : -d;
+    } else {
+        off.x += off.x >= 0 ? d : -d;
+    }
+    std::sort(variant.sinkOffsets.begin(), variant.sinkOffsets.end());
+    return variant;
+}
+
+/// Shrink a bit's sink offsets towards the driver, preserving every
+/// direction (and hence the similarity vectors): the bit stays in its
+/// object but its source-to-sink distances deviate, creating the Vio(dst)
+/// targets of Table II.
+std::vector<geom::Point> stretchOffsets(const std::vector<geom::Point>& offs,
+                                        double factor) {
+    std::vector<geom::Point> out;
+    out.reserve(offs.size());
+    const auto scale = [&](int v) {
+        if (v == 0) return 0;
+        const int s = static_cast<int>(std::lround(v * factor));
+        if (s == 0) return v > 0 ? 1 : -1;
+        return s;
+    };
+    for (const geom::Point o : offs) out.push_back({scale(o.x), scale(o.y)});
+    return out;
+}
+
+}  // namespace
+
+Design generate(const SuiteSpec& spec) {
+    if (spec.maxPins < 2) {
+        throw std::invalid_argument("SuiteSpec: maxPins must be >= 2");
+    }
+    std::mt19937 rng(spec.seed);
+    Design design{spec.name,
+                  grid::RoutingGrid(spec.gridWidth, spec.gridHeight,
+                                    spec.numLayers, spec.capacity),
+                  {}};
+    if (spec.viaCapacity >= 0) design.grid.setViaCapacity(spec.viaCapacity);
+
+    std::uniform_int_distribution<int> widthDist(spec.minGroupWidth,
+                                                 spec.maxGroupWidth);
+    std::uniform_int_distribution<int> dirDist(0, 3);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    for (int g = 0; g < spec.numGroups; ++g) {
+        SignalGroup group;
+        group.name = "sg" + std::to_string(g);
+        const int width = widthDist(rng);
+        const int mainDir = dirDist(rng);
+        const bool multipin =
+            spec.maxPins > 2 && unit(rng) < spec.multipinFraction;
+        const bool twoStyles = width >= 4 && unit(rng) < spec.twoStyleFraction;
+
+        // Bundle geometry: drivers sit on adjacent tracks perpendicular to
+        // the main routing direction.
+        const bool mainHorizontal = mainDir == 0 || mainDir == 2;
+        const geom::Point perp = mainHorizontal ? geom::Point{0, 1}
+                                                : geom::Point{1, 0};
+        const int margin = std::min(spec.gridWidth, spec.gridHeight) / 3;
+        std::uniform_int_distribution<int> xDist(margin / 2,
+                                                 spec.gridWidth - margin / 2);
+        std::uniform_int_distribution<int> yDist(margin / 2,
+                                                 spec.gridHeight - margin / 2);
+        const geom::Point base{xDist(rng), yDist(rng)};
+
+        const Style styleA = makeStyle(&rng, spec, multipin, mainDir);
+        const Style styleB =
+            twoStyles ? makeVariantStyle(&rng, styleA, mainDir) : styleA;
+        const int splitAt = twoStyles ? width / 2 : width;
+        std::uniform_real_distribution<double> stretchFactor(0.35, 0.7);
+
+        for (int k = 0; k < width; ++k) {
+            const Style& style = k < splitAt ? styleA : styleB;
+            std::vector<geom::Point> offsets = style.sinkOffsets;
+            if (unit(rng) < spec.stretchFraction) {
+                offsets = stretchOffsets(offsets, stretchFactor(rng));
+            }
+            Bit bit;
+            bit.name = group.name + "_b" + std::to_string(k);
+            const geom::Point driver{
+                clampTo(base.x + k * perp.x, 1, spec.gridWidth - 2),
+                clampTo(base.y + k * perp.y, 1, spec.gridHeight - 2)};
+            bit.pins.push_back(driver);
+            bit.driver = 0;
+            for (const geom::Point off : offsets) {
+                const geom::Point sink{
+                    clampTo(driver.x + off.x, 1, spec.gridWidth - 2),
+                    clampTo(driver.y + off.y, 1, spec.gridHeight - 2)};
+                if (sink != driver) bit.pins.push_back(sink);
+            }
+            if (bit.pins.size() < 2) {
+                // Clamping collapsed every sink; give the bit a minimal
+                // two-pin connection so it stays a real net.
+                bit.pins.push_back({clampTo(driver.x + 3, 1, spec.gridWidth - 2),
+                                    driver.y});
+            }
+            group.bits.push_back(std::move(bit));
+        }
+        design.groups.push_back(std::move(group));
+    }
+
+    // Blockages: capacity dents on random layers.
+    std::uniform_int_distribution<int> bx(0, spec.gridWidth - 2);
+    std::uniform_int_distribution<int> by(0, spec.gridHeight - 2);
+    std::uniform_int_distribution<int> bs(2, std::max(3, spec.blockageMaxSize));
+    std::uniform_int_distribution<int> bl(0, spec.numLayers - 1);
+    for (int b = 0; b < spec.numBlockages; ++b) {
+        const geom::Point lo{bx(rng), by(rng)};
+        const geom::Point hi{clampTo(lo.x + bs(rng), 0, spec.gridWidth - 1),
+                             clampTo(lo.y + bs(rng), 0, spec.gridHeight - 1)};
+        design.grid.addBlockage({lo, hi}, bl(rng), spec.blockageRemainingCap);
+    }
+    return design;
+}
+
+SuiteSpec synthSpec(int index) {
+    SuiteSpec s;
+    s.name = "synth" + std::to_string(index);
+    s.seed = static_cast<std::uint32_t>(1000 + index);
+    switch (index) {
+        case 1:  // Industry1-like: small two-pin suite
+            s.gridWidth = s.gridHeight = 56;
+            s.capacity = 14;
+            s.numGroups = 26;
+            s.minGroupWidth = 4;
+            s.maxGroupWidth = 12;
+            s.maxPins = 2;
+            s.numBlockages = 6;
+            break;
+        case 2:  // Industry2-like: largest two-pin suite
+            s.gridWidth = s.gridHeight = 80;
+            s.capacity = 14;
+            s.numGroups = 50;
+            s.minGroupWidth = 6;
+            s.maxGroupWidth = 18;
+            s.maxPins = 2;
+            s.numBlockages = 8;
+            break;
+        case 3:  // Industry3-like: two-pin, congested (ILP-hostile)
+            s.gridWidth = s.gridHeight = 44;
+            s.capacity = 8;
+            s.numGroups = 26;
+            s.minGroupWidth = 4;
+            s.maxGroupWidth = 10;
+            s.maxPins = 2;
+            s.numBlockages = 16;
+            s.blockageMaxSize = 10;
+            break;
+        case 4:  // Industry4-like: few wide two-pin groups
+            s.gridWidth = s.gridHeight = 56;
+            s.capacity = 14;
+            s.numGroups = 16;
+            s.minGroupWidth = 8;
+            s.maxGroupWidth = 20;
+            s.maxPins = 2;
+            s.numBlockages = 4;
+            break;
+        case 5:  // Industry5-like: many multipin groups, Np_max = 14
+            s.gridWidth = s.gridHeight = 80;
+            s.capacity = 12;
+            s.numGroups = 58;
+            s.minGroupWidth = 4;
+            s.maxGroupWidth = 10;
+            s.maxPins = 14;
+            s.multipinFraction = 0.6;
+            s.numBlockages = 10;
+            break;
+        case 6:  // Industry6-like: wide multipin groups, congested
+            s.gridWidth = s.gridHeight = 64;
+            s.capacity = 12;
+            s.numGroups = 40;
+            s.minGroupWidth = 6;
+            s.maxGroupWidth = 26;
+            s.maxPins = 9;
+            s.multipinFraction = 0.6;
+            s.numBlockages = 16;
+            s.blockageMaxSize = 10;
+            break;
+        case 7:  // Industry7-like: multipin, low congestion
+            s.gridWidth = s.gridHeight = 64;
+            s.capacity = 16;
+            s.numGroups = 18;
+            s.minGroupWidth = 8;
+            s.maxGroupWidth = 20;
+            s.maxPins = 7;
+            s.multipinFraction = 0.5;
+            s.numBlockages = 3;
+            break;
+        default:
+            throw std::invalid_argument("synthSpec: index must be in [1, 7]");
+    }
+    return s;
+}
+
+Design makeSynth(int index) { return generate(synthSpec(index)); }
+
+std::vector<SuiteSpec> scalabilitySpecs(bool multipin, int steps) {
+    std::vector<SuiteSpec> specs;
+    for (int i = 0; i < steps; ++i) {
+        SuiteSpec s = synthSpec(multipin ? 5 : 2);
+        const double scale = (i + 1) / static_cast<double>(steps);
+        s.name = std::string(multipin ? "scale_mp_" : "scale_2p_") +
+                 std::to_string(i + 1);
+        s.numGroups = std::max(4, static_cast<int>(s.numGroups * scale));
+        if (multipin && i + 1 == steps) {
+            // The paper's largest case enriches the biggest suite with
+            // pseudo pins and pseudo bits; emulate by raising pin counts
+            // and widths.
+            s.maxPins += 4;
+            s.maxGroupWidth += 6;
+            s.multipinFraction = 0.8;
+        }
+        s.seed = static_cast<std::uint32_t>(7000 + i + (multipin ? 100 : 0));
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+}  // namespace streak::gen

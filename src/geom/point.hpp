@@ -1,0 +1,68 @@
+// Basic integer lattice geometry used throughout Streak.
+//
+// All routing in Streak happens on a G-Cell lattice, so coordinates are
+// plain ints. Points are small value types; pass by value.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace streak::geom {
+
+/// A point on the 2-D G-Cell lattice.
+struct Point {
+    int x = 0;
+    int y = 0;
+
+    friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// A point on the 3-D (layered) G-Cell lattice. `z` is the metal layer.
+struct Point3 {
+    int x = 0;
+    int y = 0;
+    int z = 0;
+
+    friend auto operator<=>(const Point3&, const Point3&) = default;
+
+    [[nodiscard]] Point xy() const { return {x, y}; }
+};
+
+/// Manhattan (rectilinear) distance — the wire-length metric on the grid.
+[[nodiscard]] inline int manhattan(Point a, Point b) {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Manhattan distance in 3-D counting one unit per via level crossed.
+[[nodiscard]] inline int manhattan(Point3 a, Point3 b) {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y) + std::abs(a.z - b.z);
+}
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+    return os << '(' << p.x << ',' << p.y << ')';
+}
+
+inline std::ostream& operator<<(std::ostream& os, Point3 p) {
+    return os << '(' << p.x << ',' << p.y << ',' << p.z << ')';
+}
+
+}  // namespace streak::geom
+
+template <>
+struct std::hash<streak::geom::Point> {
+    size_t operator()(streak::geom::Point p) const noexcept {
+        return std::hash<std::int64_t>{}(
+            (static_cast<std::int64_t>(p.x) << 32) ^ static_cast<std::uint32_t>(p.y));
+    }
+};
+
+template <>
+struct std::hash<streak::geom::Point3> {
+    size_t operator()(streak::geom::Point3 p) const noexcept {
+        auto h = std::hash<streak::geom::Point>{}(p.xy());
+        return h * 1000003u + static_cast<size_t>(p.z);
+    }
+};

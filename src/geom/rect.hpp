@@ -1,0 +1,43 @@
+// Axis-aligned integer rectangles (used for blockages and pin regions).
+#pragma once
+
+#include <algorithm>
+
+#include "geom/point.hpp"
+
+namespace streak::geom {
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y] on the lattice.
+struct Rect {
+    Point lo;
+    Point hi;
+
+    friend auto operator<=>(const Rect&, const Rect&) = default;
+
+    [[nodiscard]] bool contains(Point p) const {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+    }
+
+    [[nodiscard]] bool overlaps(const Rect& o) const {
+        return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+    }
+
+    [[nodiscard]] int width() const { return hi.x - lo.x; }
+    [[nodiscard]] int height() const { return hi.y - lo.y; }
+
+    /// Grow the rectangle to include `p`.
+    void expand(Point p) {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+    }
+
+    /// Smallest rectangle containing both points.
+    [[nodiscard]] static Rect bounding(Point a, Point b) {
+        return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+                {std::max(a.x, b.x), std::max(a.y, b.y)}};
+    }
+};
+
+}  // namespace streak::geom

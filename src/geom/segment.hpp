@@ -1,0 +1,68 @@
+// Rectilinear segments: the atoms of Streak topologies.
+//
+// A rectilinear connection (RC) in the paper is a straight horizontal or
+// vertical wire between two lattice points. Segment provides the value
+// type plus the orientation/overlap predicates the topology code needs.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "geom/point.hpp"
+
+namespace streak::geom {
+
+/// A straight horizontal or vertical lattice segment. Degenerate (single
+/// point) segments are allowed and count as both orientations.
+struct Segment {
+    Point a;
+    Point b;
+
+    friend auto operator<=>(const Segment&, const Segment&) = default;
+
+    [[nodiscard]] bool rectilinear() const { return a.x == b.x || a.y == b.y; }
+    [[nodiscard]] bool horizontal() const { return a.y == b.y; }
+    [[nodiscard]] bool vertical() const { return a.x == b.x; }
+    [[nodiscard]] bool degenerate() const { return a == b; }
+    [[nodiscard]] int length() const { return manhattan(a, b); }
+
+    /// Canonical form: endpoints ordered lexicographically.
+    [[nodiscard]] Segment canonical() const {
+        return a <= b ? Segment{a, b} : Segment{b, a};
+    }
+
+    /// True if lattice point `p` lies on this (rectilinear) segment.
+    [[nodiscard]] bool covers(Point p) const {
+        assert(rectilinear());
+        const Segment c = canonical();
+        if (horizontal()) {
+            return p.y == a.y && p.x >= c.a.x && p.x <= c.b.x;
+        }
+        return p.x == a.x && p.y >= c.a.y && p.y <= c.b.y;
+    }
+};
+
+/// Overlap (shared extent, not mere touching) of two parallel segments.
+/// Returns the shared sub-segment if it has positive length.
+[[nodiscard]] inline std::optional<Segment> overlap(const Segment& s,
+                                                    const Segment& t) {
+    if (s.degenerate() || t.degenerate()) return std::nullopt;
+    if (s.horizontal() != t.horizontal()) return std::nullopt;
+    const Segment cs = s.canonical();
+    const Segment ct = t.canonical();
+    if (s.horizontal()) {
+        if (cs.a.y != ct.a.y) return std::nullopt;
+        const int lo = std::max(cs.a.x, ct.a.x);
+        const int hi = std::min(cs.b.x, ct.b.x);
+        if (lo >= hi) return std::nullopt;
+        return Segment{{lo, cs.a.y}, {hi, cs.a.y}};
+    }
+    if (cs.a.x != ct.a.x) return std::nullopt;
+    const int lo = std::max(cs.a.y, ct.a.y);
+    const int hi = std::min(cs.b.y, ct.b.y);
+    if (lo >= hi) return std::nullopt;
+    return Segment{{cs.a.x, lo}, {cs.a.x, hi}};
+}
+
+}  // namespace streak::geom

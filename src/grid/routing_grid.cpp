@@ -1,0 +1,129 @@
+#include "grid/routing_grid.hpp"
+
+#include <stdexcept>
+
+namespace streak::grid {
+
+RoutingGrid::RoutingGrid(int width, int height, int numLayers,
+                         int defaultCapacity)
+    : width_(width), height_(height), numLayers_(numLayers) {
+    if (width < 2 || height < 2) {
+        throw std::invalid_argument("RoutingGrid: need at least 2x2 G-Cells");
+    }
+    if (numLayers < 2) {
+        throw std::invalid_argument("RoutingGrid: need at least 2 layers");
+    }
+    layerDir_.reserve(static_cast<size_t>(numLayers));
+    layerOffset_.reserve(static_cast<size_t>(numLayers));
+    int offset = 0;
+    for (int l = 0; l < numLayers; ++l) {
+        const Dir d = (l % 2 == 0) ? Dir::Horizontal : Dir::Vertical;
+        layerDir_.push_back(d);
+        layerOffset_.push_back(offset);
+        offset += d == Dir::Horizontal ? (width - 1) * height : width * (height - 1);
+    }
+    capacity_.assign(static_cast<size_t>(offset), defaultCapacity);
+}
+
+std::vector<int> RoutingGrid::layersOf(Dir d) const {
+    std::vector<int> out;
+    for (int l = 0; l < numLayers_; ++l) {
+        if (layerDir_[l] == d) out.push_back(l);
+    }
+    return out;
+}
+
+void RoutingGrid::setViaCapacity(int capacity) {
+    viaCapacity_.assign(static_cast<size_t>(numCells()), capacity);
+}
+
+void RoutingGrid::addViaBlockage(const geom::Rect& area,
+                                 int remainingCapacity) {
+    if (viaCapacity_.empty()) {
+        throw std::logic_error(
+            "addViaBlockage: enable the via model with setViaCapacity first");
+    }
+    for (int y = area.lo.y; y <= area.hi.y; ++y) {
+        for (int x = area.lo.x; x <= area.hi.x; ++x) {
+            if (x < 0 || x >= width_ || y < 0 || y >= height_) continue;
+            int& cap = viaCapacity_[static_cast<size_t>(cellIndex(x, y))];
+            if (cap > remainingCapacity) cap = remainingCapacity;
+        }
+    }
+}
+
+void RoutingGrid::addBlockage(const geom::Rect& area, int layer,
+                              int remainingCapacity) {
+    for (int y = area.lo.y; y <= area.hi.y; ++y) {
+        for (int x = area.lo.x; x <= area.hi.x; ++x) {
+            if (validEdge(layer, x, y)) {
+                const int e = edgeId(layer, x, y);
+                if (capacity_[e] > remainingCapacity) {
+                    capacity_[e] = remainingCapacity;
+                }
+            }
+        }
+    }
+}
+
+std::vector<int> RoutingGrid::edgesOnSegment(const geom::Segment& seg,
+                                             int layer) const {
+    std::vector<int> out;
+    appendEdgesOnSegment(seg, layer, &out);
+    return out;
+}
+
+void RoutingGrid::appendEdgesOnSegment(const geom::Segment& seg, int layer,
+                                       std::vector<int>* out) const {
+    if (seg.degenerate()) return;
+    const geom::Segment c = seg.canonical();
+    if (c.horizontal()) {
+        assert(layerDir_[layer] == Dir::Horizontal);
+        for (int x = c.a.x; x < c.b.x; ++x) {
+            out->push_back(edgeId(layer, x, c.a.y));
+        }
+    } else {
+        assert(layerDir_[layer] == Dir::Vertical);
+        for (int y = c.a.y; y < c.b.y; ++y) {
+            out->push_back(edgeId(layer, c.a.x, y));
+        }
+    }
+}
+
+RoutingGrid::EdgeCoord RoutingGrid::edgeCoord(int edge) const {
+    int layer = numLayers_ - 1;
+    while (layer > 0 && layerOffset_[layer] > edge) --layer;
+    const int local = edge - layerOffset_[layer];
+    const int stride =
+        layerDir_[layer] == Dir::Horizontal ? width_ - 1 : width_;
+    return {layer, local % stride, local / stride};
+}
+
+long EdgeUsage::totalOverflow() const {
+    long total = 0;
+    for (size_t e = 0; e < usage_.size(); ++e) {
+        const int over = usage_[e] - grid_->capacity(static_cast<int>(e));
+        if (over > 0) total += over;
+    }
+    return total;
+}
+
+long EdgeUsage::totalViaOverflow() const {
+    if (!grid_->viaLimited()) return 0;
+    long total = 0;
+    for (size_t c = 0; c < viaUsage_.size(); ++c) {
+        const int cap = grid_->viaCapacity(static_cast<int>(c));
+        if (cap >= 0 && viaUsage_[c] > cap) total += viaUsage_[c] - cap;
+    }
+    return total;
+}
+
+int EdgeUsage::overflowedEdges() const {
+    int count = 0;
+    for (size_t e = 0; e < usage_.size(); ++e) {
+        if (usage_[e] > grid_->capacity(static_cast<int>(e))) ++count;
+    }
+    return count;
+}
+
+}  // namespace streak::grid

@@ -1,0 +1,141 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "ilp/lp.hpp"
+
+namespace streak::ilp {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+struct Node {
+    double bound;                    // parent LP bound (lower bound)
+    std::vector<std::int8_t> fixed;  // -1 free, 0 / 1 fixed
+
+    bool operator<(const Node& o) const { return bound > o.bound; }  // min-heap
+};
+
+/// Model copy with node fixings applied as tight bounds.
+Model applyFixings(const Model& base, const std::vector<std::int8_t>& fixed) {
+    Model m;
+    for (int v = 0; v < base.numVariables(); ++v) {
+        double lo = base.lower(v);
+        double hi = base.upper(v);
+        const auto f = fixed[static_cast<size_t>(v)];
+        if (base.isInteger(v) && f >= 0) lo = hi = static_cast<double>(f);
+        m.addVariable(base.objectiveCoeff(v), base.isInteger(v), lo, hi);
+    }
+    for (const Row& r : base.rows()) m.addRow(r);
+    m.objectiveConstant = base.objectiveConstant;
+    return m;
+}
+
+}  // namespace
+
+Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto timeUp = [&] {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return elapsed.count() > opts.timeLimitSeconds;
+    };
+
+    Solution incumbent;
+    incumbent.status = SolveStatus::Limit;
+    // A warm-start bound prunes but is not itself a returnable solution;
+    // the caller keeps its warm start when we return empty-handed.
+    double incumbentObj = opts.initialUpperBound;
+    bool haveIncumbent = false;
+    bool provenInfeasible = true;  // until a node is feasible at LP level
+
+    std::priority_queue<Node> open;
+    open.push({-kInfinity, std::vector<std::int8_t>(
+                               static_cast<size_t>(model.numVariables()), -1)});
+    long nodes = 0;
+    bool limitHit = false;
+    double bestOpenBound = -kInfinity;
+
+    while (!open.empty()) {
+        if (nodes >= opts.maxNodes || timeUp()) {
+            limitHit = true;
+            bestOpenBound = open.top().bound;
+            break;
+        }
+        Node node = open.top();
+        open.pop();
+        if (node.bound >= incumbentObj - opts.gapTolerance &&
+            incumbentObj < kInfinity) {
+            break;  // best-bound search: everything else is worse too
+        }
+        ++nodes;
+
+        const Model sub = applyFixings(model, node.fixed);
+        const Solution lp = solveLp(sub);
+        if (lp.status == SolveStatus::Infeasible) continue;
+        if (lp.status == SolveStatus::Unbounded) {
+            Solution out;
+            out.status = SolveStatus::Unbounded;
+            if (stats) *stats = {nodes, false, -kInfinity};
+            return out;
+        }
+        provenInfeasible = false;
+        if (lp.objective >= incumbentObj - opts.gapTolerance) continue;
+
+        // Find the most fractional integer variable (distance to the
+        // nearest integer, i.e. closeness to 0.5).
+        int branchVar = -1;
+        double bestScore = kIntTol;
+        for (int v = 0; v < model.numVariables(); ++v) {
+            if (!model.isInteger(v)) continue;
+            const double x = lp.values[static_cast<size_t>(v)];
+            const double dist = std::abs(x - std::round(x));
+            if (dist > bestScore) {
+                bestScore = dist;
+                branchVar = v;
+            }
+        }
+        if (branchVar < 0) {
+            // Integral: new incumbent.
+            if (lp.objective < incumbentObj) {
+                incumbentObj = lp.objective;
+                incumbent = lp;
+                haveIncumbent = true;
+            }
+            continue;
+        }
+        for (const std::int8_t val : {std::int8_t{1}, std::int8_t{0}}) {
+            Node child;
+            child.bound = lp.objective;
+            child.fixed = node.fixed;
+            child.fixed[static_cast<size_t>(branchVar)] = val;
+            open.push(std::move(child));
+        }
+    }
+
+    if (stats) {
+        stats->nodesExplored = nodes;
+        stats->hitLimit = limitHit;
+        stats->bestBound =
+            limitHit ? bestOpenBound
+                     : (incumbentObj < kInfinity ? incumbentObj : bestOpenBound);
+    }
+
+    if (haveIncumbent) {
+        incumbent.status = limitHit ? SolveStatus::Feasible : SolveStatus::Optimal;
+        return incumbent;
+    }
+    Solution out;
+    out.status = (provenInfeasible && !limitHit &&
+                  opts.initialUpperBound == kInfinity)
+                     ? SolveStatus::Infeasible
+                     : SolveStatus::Limit;
+    return out;
+}
+
+}  // namespace streak::ilp

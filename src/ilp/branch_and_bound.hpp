@@ -1,0 +1,34 @@
+// 0/1 branch-and-bound ILP solver over the simplex LP relaxation.
+//
+// Best-bound node selection, most-fractional branching, optional time /
+// node limits (used to reproduce the paper's ">3600 s" ILP timeout rows).
+#pragma once
+
+#include "ilp/model.hpp"
+
+namespace streak::ilp {
+
+struct BnbOptions {
+    double timeLimitSeconds = 60.0;
+    long maxNodes = 1000000;
+    /// Absolute incumbent-vs-bound gap considered proven optimal.
+    double gapTolerance = 1e-6;
+    /// Known upper bound from a warm-start solution (e.g. a primal-dual
+    /// result): nodes at or above it are pruned, so the search only looks
+    /// for strictly better solutions. +inf disables.
+    double initialUpperBound = kInfinity;
+};
+
+struct BnbStats {
+    long nodesExplored = 0;
+    bool hitLimit = false;
+    double bestBound = 0.0;
+};
+
+/// Minimize the model with its integer variables restricted to {0, 1}.
+/// Status: Optimal (proven), Feasible (incumbent, limit hit), Infeasible,
+/// or Limit (limit hit before any incumbent).
+[[nodiscard]] Solution solveIlp(const Model& model, const BnbOptions& opts = {},
+                                BnbStats* stats = nullptr);
+
+}  // namespace streak::ilp

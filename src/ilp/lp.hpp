@@ -1,0 +1,15 @@
+// Dense two-phase primal simplex for the LP relaxations used by the
+// branch-and-bound ILP solver. Small and deterministic; adequate for the
+// per-component subproblems Streak produces.
+#pragma once
+
+#include "ilp/model.hpp"
+
+namespace streak::ilp {
+
+/// Solve the model as a *continuous* LP (integrality flags ignored).
+/// Finite non-zero lower/upper bounds are handled by shifting / bound rows.
+/// Status is Optimal, Infeasible, or Unbounded.
+[[nodiscard]] Solution solveLp(const Model& model);
+
+}  // namespace streak::ilp

@@ -1,0 +1,23 @@
+#include "ilp/model.hpp"
+
+#include <stdexcept>
+
+namespace streak::ilp {
+
+int Model::addVariable(double objectiveCoeff, bool integer, double lower,
+                       double upper) {
+    if (lower > upper) {
+        throw std::invalid_argument("Model::addVariable: lower > upper");
+    }
+    if (integer && (lower < 0.0 || upper > 1.0) && upper != kInfinity) {
+        throw std::invalid_argument(
+            "Model::addVariable: integer variables must be binary");
+    }
+    objective_.push_back(objectiveCoeff);
+    integer_.push_back(integer);
+    lower_.push_back(lower);
+    upper_.push_back(integer && upper == kInfinity ? 1.0 : upper);
+    return static_cast<int>(objective_.size()) - 1;
+}
+
+}  // namespace streak::ilp

@@ -1,0 +1,206 @@
+#include "io/design_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace streak::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("readDesign: " + what);
+}
+
+}  // namespace
+
+void writeDesign(const Design& design, std::ostream& os) {
+    os << "STREAK 1\n";
+    os << "# design: " << design.name << '\n';
+    const grid::RoutingGrid& g = design.grid;
+    // Default capacity is not recoverable once blockages applied; emit the
+    // grid with per-edge capacity deltas below.
+    os << "GRID " << g.width() << ' ' << g.height() << ' ' << g.numLayers();
+    // Use the maximum capacity as the default and re-emit dents.
+    int defaultCap = 0;
+    for (int e = 0; e < g.numEdges(); ++e) {
+        defaultCap = std::max(defaultCap, g.capacity(e));
+    }
+    os << ' ' << defaultCap << '\n';
+    for (int e = 0; e < g.numEdges(); ++e) {
+        if (g.capacity(e) != defaultCap) {
+            const auto c = g.edgeCoord(e);
+            os << "BLOCKAGE " << c.x << ' ' << c.y << ' ' << c.x << ' ' << c.y
+               << ' ' << c.layer << ' ' << g.capacity(e) << '\n';
+        }
+    }
+    if (g.viaLimited()) {
+        int defaultVia = 0;
+        for (int c = 0; c < g.numCells(); ++c) {
+            defaultVia = std::max(defaultVia, g.viaCapacity(c));
+        }
+        os << "VIACAP " << defaultVia << '\n';
+        for (int y = 0; y < g.height(); ++y) {
+            for (int x = 0; x < g.width(); ++x) {
+                const int cap = g.viaCapacity(g.cellIndex(x, y));
+                if (cap != defaultVia) {
+                    os << "VIABLOCKAGE " << x << ' ' << y << ' ' << x << ' '
+                       << y << ' ' << cap << '\n';
+                }
+            }
+        }
+    }
+    for (const SignalGroup& group : design.groups) {
+        os << "GROUP " << group.name << ' ' << group.width() << '\n';
+        for (const Bit& bit : group.bits) {
+            os << "BIT " << bit.name << ' ' << bit.numPins() << ' '
+               << bit.driver << '\n';
+            for (const geom::Point p : bit.pins) {
+                os << "PIN " << p.x << ' ' << p.y << '\n';
+            }
+        }
+    }
+}
+
+void writeDesignFile(const Design& design, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("writeDesignFile: cannot open " + path);
+    writeDesign(design, os);
+}
+
+Design readDesign(std::istream& is) {
+    std::string line;
+    // Header.
+    for (;;) {
+        if (!std::getline(is, line)) fail("missing header");
+        if (line.empty() || line[0] == '#') continue;
+        break;
+    }
+    {
+        std::istringstream ss(line);
+        std::string magic;
+        int version = 0;
+        ss >> magic >> version;
+        if (magic != "STREAK" || version != 1) fail("bad header: " + line);
+    }
+
+    int width = 0, height = 0, layers = 0, cap = 0;
+    bool haveGrid = false;
+    std::string pendingName = "design";
+
+    // Parse body into a staging structure, then build.
+    struct PendingBit {
+        std::string name;
+        int driver = 0;
+        std::vector<geom::Point> pins;
+        int expectedPins = 0;
+    };
+    struct PendingGroup {
+        std::string name;
+        std::vector<PendingBit> bits;
+        int expectedBits = 0;
+    };
+    std::vector<PendingGroup> groups;
+    struct Blockage {
+        geom::Rect rect;
+        int layer;
+        int remaining;
+    };
+    std::vector<Blockage> blockages;
+    int viaCap = -1;
+    struct ViaBlockage {
+        geom::Rect rect;
+        int remaining;
+    };
+    std::vector<ViaBlockage> viaBlockages;
+
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ss(line);
+        std::string kind;
+        ss >> kind;
+        if (kind == "GRID") {
+            ss >> width >> height >> layers >> cap;
+            if (!ss) fail("bad GRID line");
+            haveGrid = true;
+        } else if (kind == "BLOCKAGE") {
+            Blockage b{};
+            ss >> b.rect.lo.x >> b.rect.lo.y >> b.rect.hi.x >> b.rect.hi.y >>
+                b.layer >> b.remaining;
+            if (!ss) fail("bad BLOCKAGE line");
+            blockages.push_back(b);
+        } else if (kind == "VIACAP") {
+            ss >> viaCap;
+            if (!ss) fail("bad VIACAP line");
+        } else if (kind == "VIABLOCKAGE") {
+            ViaBlockage b{};
+            ss >> b.rect.lo.x >> b.rect.lo.y >> b.rect.hi.x >> b.rect.hi.y >>
+                b.remaining;
+            if (!ss) fail("bad VIABLOCKAGE line");
+            viaBlockages.push_back(b);
+        } else if (kind == "GROUP") {
+            PendingGroup g;
+            ss >> g.name >> g.expectedBits;
+            if (!ss) fail("bad GROUP line");
+            groups.push_back(std::move(g));
+        } else if (kind == "BIT") {
+            if (groups.empty()) fail("BIT before GROUP");
+            PendingBit b;
+            ss >> b.name >> b.expectedPins >> b.driver;
+            if (!ss) fail("bad BIT line");
+            groups.back().bits.push_back(std::move(b));
+        } else if (kind == "PIN") {
+            if (groups.empty() || groups.back().bits.empty()) {
+                fail("PIN before BIT");
+            }
+            geom::Point p{};
+            ss >> p.x >> p.y;
+            if (!ss) fail("bad PIN line");
+            groups.back().bits.back().pins.push_back(p);
+        } else {
+            fail("unknown record: " + kind);
+        }
+    }
+    if (!haveGrid) fail("missing GRID");
+
+    Design design{pendingName, grid::RoutingGrid(width, height, layers, cap), {}};
+    for (const Blockage& b : blockages) {
+        design.grid.addBlockage(b.rect, b.layer, b.remaining);
+    }
+    if (viaCap >= 0) {
+        design.grid.setViaCapacity(viaCap);
+        for (const ViaBlockage& b : viaBlockages) {
+            design.grid.addViaBlockage(b.rect, b.remaining);
+        }
+    } else if (!viaBlockages.empty()) {
+        fail("VIABLOCKAGE without VIACAP");
+    }
+    for (PendingGroup& pg : groups) {
+        if (static_cast<int>(pg.bits.size()) != pg.expectedBits) {
+            fail("group " + pg.name + " bit count mismatch");
+        }
+        SignalGroup g;
+        g.name = std::move(pg.name);
+        for (PendingBit& pb : pg.bits) {
+            if (static_cast<int>(pb.pins.size()) != pb.expectedPins) {
+                fail("bit " + pb.name + " pin count mismatch");
+            }
+            if (pb.driver < 0 ||
+                pb.driver >= static_cast<int>(pb.pins.size())) {
+                fail("bit " + pb.name + " driver out of range");
+            }
+            g.bits.push_back(
+                {std::move(pb.name), std::move(pb.pins), pb.driver});
+        }
+        design.groups.push_back(std::move(g));
+    }
+    return design;
+}
+
+Design readDesignFile(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("readDesignFile: cannot open " + path);
+    return readDesign(is);
+}
+
+}  // namespace streak::io

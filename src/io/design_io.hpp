@@ -1,0 +1,28 @@
+// Text serialization of designs.
+//
+// Format (line oriented, '#' comments):
+//   STREAK 1
+//   GRID <width> <height> <layers> <defaultCapacity>
+//   BLOCKAGE <lox> <loy> <hix> <hiy> <layer> <remainingCap>
+//   VIACAP <capacityPerCell>                (enables the pin-access model)
+//   VIABLOCKAGE <lox> <loy> <hix> <hiy> <remainingCap>
+//   GROUP <name> <numBits>
+//   BIT <name> <numPins> <driverIndex>
+//   PIN <x> <y>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/signal.hpp"
+
+namespace streak::io {
+
+void writeDesign(const Design& design, std::ostream& os);
+void writeDesignFile(const Design& design, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Design readDesign(std::istream& is);
+[[nodiscard]] Design readDesignFile(const std::string& path);
+
+}  // namespace streak::io

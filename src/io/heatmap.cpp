@@ -1,0 +1,71 @@
+#include "io/heatmap.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace streak::io {
+
+std::vector<std::vector<double>> congestionGrid(const grid::EdgeUsage& usage) {
+    const grid::RoutingGrid& g = usage.grid();
+    std::vector<std::vector<double>> cells(
+        static_cast<size_t>(g.height()),
+        std::vector<double>(static_cast<size_t>(g.width()), 0.0));
+    for (int l = 0; l < g.numLayers(); ++l) {
+        for (int y = 0; y < g.height(); ++y) {
+            for (int x = 0; x < g.width(); ++x) {
+                if (!g.validEdge(l, x, y)) continue;
+                const int e = g.edgeId(l, x, y);
+                const int cap = g.capacity(e);
+                if (cap <= 0) continue;
+                const double ratio =
+                    static_cast<double>(usage.usage(e)) / cap;
+                cells[static_cast<size_t>(y)][static_cast<size_t>(x)] =
+                    std::max(cells[static_cast<size_t>(y)][static_cast<size_t>(x)],
+                             ratio);
+            }
+        }
+    }
+    return cells;
+}
+
+void writeAsciiHeatmap(const grid::EdgeUsage& usage, std::ostream& os,
+                       int maxCols) {
+    const auto cells = congestionGrid(usage);
+    const int h = static_cast<int>(cells.size());
+    const int w = h == 0 ? 0 : static_cast<int>(cells[0].size());
+    const int stride = std::max(1, (w + maxCols - 1) / maxCols);
+    const auto shade = [](double c) {
+        if (c > 1.0) return 'X';
+        if (c > 0.9) return '#';
+        if (c > 0.6) return '+';
+        if (c > 0.3) return ':';
+        if (c > 0.05) return '.';
+        return ' ';
+    };
+    for (int y = h - 1; y >= 0; y -= stride) {
+        for (int x = 0; x < w; x += stride) {
+            double peak = 0.0;
+            for (int dy = 0; dy < stride && y - dy >= 0; ++dy) {
+                for (int dx = 0; dx < stride && x + dx < w; ++dx) {
+                    peak = std::max(
+                        peak, cells[static_cast<size_t>(y - dy)]
+                                   [static_cast<size_t>(x + dx)]);
+                }
+            }
+            os << shade(peak);
+        }
+        os << '\n';
+    }
+}
+
+void writeCsvHeatmap(const grid::EdgeUsage& usage, std::ostream& os) {
+    const auto cells = congestionGrid(usage);
+    os << "y,x,congestion\n";
+    for (size_t y = 0; y < cells.size(); ++y) {
+        for (size_t x = 0; x < cells[y].size(); ++x) {
+            os << y << ',' << x << ',' << cells[y][x] << '\n';
+        }
+    }
+}
+
+}  // namespace streak::io

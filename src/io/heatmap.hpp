@@ -1,0 +1,28 @@
+// Congestion heat maps (Figs. 11-12).
+//
+// Renders per-G-Cell congestion (max edge utilization across layers) as an
+// ASCII shade map for terminal inspection and as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+
+namespace streak::io {
+
+/// Per-G-Cell congestion in [0, inf): the maximum usage/capacity ratio of
+/// the edges leaving the cell, over all layers. > 1 means overflow.
+[[nodiscard]] std::vector<std::vector<double>> congestionGrid(
+    const grid::EdgeUsage& usage);
+
+/// ASCII rendering: ' ' empty, '.' light, ':' moderate, '+' busy, '#'
+/// near-full, 'X' overflow. One row per G-Cell row (top row = max y).
+void writeAsciiHeatmap(const grid::EdgeUsage& usage, std::ostream& os,
+                       int maxCols = 96);
+
+/// CSV rows y,x,congestion.
+void writeCsvHeatmap(const grid::EdgeUsage& usage, std::ostream& os);
+
+}  // namespace streak::io

@@ -1,0 +1,22 @@
+// SVG rendering of routed designs: one colour per trunk-layer pair, pins
+// as dots, blockage-dented cells shaded. For visual inspection of
+// regularity (the parallel-track patterns of Figs. 1/3) and debugging.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/solution.hpp"
+
+namespace streak::io {
+
+struct SvgOptions {
+    int cellSize = 10;  // pixels per G-Cell
+    bool drawGridLines = false;
+    bool shadeBlockages = true;
+};
+
+/// Render the routed bits of a design to SVG.
+void writeSvg(const RoutedDesign& routed, std::ostream& os,
+              const SvgOptions& opts = {});
+
+}  // namespace streak::io

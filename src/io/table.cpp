@@ -1,0 +1,53 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace streak::io {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+               << cells[c];
+        }
+        os << " |\n";
+    };
+    line(headers_);
+    os << '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(width[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& row : rows_) line(row);
+}
+
+std::string Table::percent(double fraction, int decimals) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << fraction * 100.0 << '%';
+    return ss.str();
+}
+
+std::string Table::fixed(double value, int decimals) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << value;
+    return ss.str();
+}
+
+}  // namespace streak::io

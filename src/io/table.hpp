@@ -1,0 +1,26 @@
+// Fixed-width table printing for the bench binaries (Tables I / II rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streak::io {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream& os) const;
+
+    /// Format helpers.
+    [[nodiscard]] static std::string percent(double fraction, int decimals = 2);
+    [[nodiscard]] static std::string fixed(double value, int decimals = 2);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streak::io

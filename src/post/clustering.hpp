@@ -1,0 +1,29 @@
+// Bottom-up clustering and routing of leftover bits (Sec. IV-B, Alg. 3).
+//
+// Objects the solver could not route as a whole are re-attempted bit by
+// bit on predicted layers: every bit starts as its own cluster; cluster
+// pairs are visited in minimum-cost order, unrouted clusters adopt their
+// cheapest feasible candidate, and clusters whose solutions reach
+// regularity ratio 1 are merged. Committed solver routes are never ripped
+// up (the paper's stated policy).
+#pragma once
+
+#include "core/options.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+
+namespace streak::post {
+
+struct ClusteringResult {
+    int bitsAttempted = 0;
+    int bitsRouted = 0;
+    int clustersFormed = 0;
+};
+
+/// Route the unrouted members of `routed` in place. New bits receive
+/// fresh cluster keys (>= problem object count) so the regularity metric
+/// sees them as separate styles.
+ClusteringResult clusterAndRoute(const RoutingProblem& prob,
+                                 RoutedDesign* routed);
+
+}  // namespace streak::post

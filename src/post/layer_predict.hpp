@@ -1,0 +1,31 @@
+// Possible layer prediction (Sec. IV-A, Eq. 7-8).
+//
+// Before routing leftover groups, the probable track usage of every 2-D
+// edge is estimated by spreading each bit uniformly over its candidate
+// topologies; the horizontal and vertical layers with the least estimated
+// conflict against the remaining capacities are selected.
+#pragma once
+
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+#include "steiner/topology.hpp"
+
+namespace streak::post {
+
+struct LayerPrediction {
+    int hLayer = 0;
+    int vLayer = 1;
+    double hConflict = 0.0;
+    double vConflict = 0.0;
+};
+
+/// Predict trunk layers for a set of bits. `bitCandidates[b]` holds the
+/// candidate 2-D topologies of bit b (all equally likely, Eq. 7); the
+/// conflict of Eq. 8 is evaluated against the *remaining* capacity in
+/// `usage`.
+[[nodiscard]] LayerPrediction predictLayers(
+    const grid::EdgeUsage& usage,
+    const std::vector<std::vector<steiner::Topology>>& bitCandidates);
+
+}  // namespace streak::post

@@ -1,0 +1,247 @@
+#include "post/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/candidate.hpp"
+
+namespace streak::post {
+
+namespace {
+
+/// The straight connection feeding a leaf pin: the maximal run of wire
+/// from the pin to the first feature node (bend / junction / other pin).
+struct Connection {
+    geom::Point start;  // feature-node end (sp in Alg. 4)
+    geom::Point end;    // the violating pin (ep)
+    bool horizontal = true;
+    bool found = false;
+};
+
+Connection findTerminalConnection(const steiner::Topology& topo,
+                                  geom::Point pin) {
+    Connection conn;
+    const steiner::TopoStructure st = topo.structure();
+    int pinNode = -1;
+    for (size_t i = 0; i < st.nodes.size(); ++i) {
+        if (st.nodes[i].pt == pin) {
+            pinNode = static_cast<int>(i);
+            break;
+        }
+    }
+    if (pinNode < 0) return conn;
+    if (st.nodes[static_cast<size_t>(pinNode)].degree != 1) return conn;
+    for (const auto& [u, v] : st.rcs) {
+        if (u != pinNode && v != pinNode) continue;
+        const int other = u == pinNode ? v : u;
+        conn.start = st.nodes[static_cast<size_t>(other)].pt;
+        conn.end = pin;
+        conn.horizontal = conn.start.y == conn.end.y;
+        conn.found = conn.start != conn.end;
+        return conn;
+    }
+    return conn;
+}
+
+/// Detour plan: replace start-end with start -> a -> b -> end where the
+/// middle run is the original connection shifted by `shift` perpendicular
+/// units; adds exactly 2*shift wire-length.
+struct Detour {
+    geom::Segment leg1, mid, leg2;
+    geom::Segment removed;
+};
+
+Detour makeDetour(const Connection& conn, int shift, bool positive) {
+    const int d = positive ? shift : -shift;
+    Detour det;
+    det.removed = {conn.start, conn.end};
+    if (conn.horizontal) {
+        const geom::Point a{conn.start.x, conn.start.y + d};
+        const geom::Point b{conn.end.x, conn.end.y + d};
+        det.leg1 = {conn.start, a};
+        det.mid = {a, b};
+        det.leg2 = {b, conn.end};
+    } else {
+        const geom::Point a{conn.start.x + d, conn.start.y};
+        const geom::Point b{conn.end.x + d, conn.end.y};
+        det.leg1 = {conn.start, a};
+        det.mid = {a, b};
+        det.leg2 = {b, conn.end};
+    }
+    return det;
+}
+
+/// All lattice points strictly inside the detour (excluding its anchor
+/// endpoints start / end).
+std::vector<geom::Point> detourInteriorPoints(const Detour& det) {
+    std::vector<geom::Point> pts;
+    const auto addPoints = [&](const geom::Segment& s, bool skipA, bool skipB) {
+        const geom::Segment c = s.canonical();
+        if (c.horizontal()) {
+            for (int x = c.a.x; x <= c.b.x; ++x) pts.push_back({x, c.a.y});
+        } else {
+            for (int y = c.a.y; y <= c.b.y; ++y) pts.push_back({c.a.x, y});
+        }
+        (void)skipA;
+        (void)skipB;
+    };
+    addPoints(det.leg1, true, false);
+    addPoints(det.mid, false, false);
+    addPoints(det.leg2, false, true);
+    std::erase(pts, det.removed.a);
+    std::erase(pts, det.removed.b);
+    return pts;
+}
+
+/// Capacity + overlap legality of a detour for a bit on (hLayer, vLayer),
+/// assuming the removed connection's usage has NOT been released yet (the
+/// new wire never reuses the removed run, so this is conservative only
+/// about unrelated edges).
+bool detourLegal(const RoutedDesign& routed, const steiner::Topology& topo,
+                 const Detour& det, int hLayer, int vLayer) {
+    const grid::RoutingGrid& grid = routed.usage.grid();
+    // Grid bounds and capacity for each new unit edge.
+    for (const geom::Segment* seg : {&det.leg1, &det.mid, &det.leg2}) {
+        if (seg->degenerate()) continue;
+        const int layer = seg->horizontal() ? hLayer : vLayer;
+        const geom::Segment c = seg->canonical();
+        if (!grid.contains(c.a) || !grid.contains(c.b)) return false;
+        if (c.horizontal()) {
+            for (int x = c.a.x; x < c.b.x; ++x) {
+                if (!grid.validEdge(layer, x, c.a.y) ||
+                    routed.usage.remaining(grid.edgeId(layer, x, c.a.y)) < 1) {
+                    return false;
+                }
+            }
+        } else {
+            for (int y = c.a.y; y < c.b.y; ++y) {
+                if (!grid.validEdge(layer, c.a.x, y) ||
+                    routed.usage.remaining(grid.edgeId(layer, c.a.x, y)) < 1) {
+                    return false;
+                }
+            }
+        }
+    }
+    // The detour must not touch the bit's own wire anywhere except at its
+    // anchor points, or the tree gains cycles / the path shortens.
+    const std::unordered_set<geom::Point> own = topo.wirePoints();
+    for (const geom::Point p : detourInteriorPoints(det)) {
+        if (own.contains(p)) return false;
+    }
+    // Pin-access model: the detour adds layer-change points; the increase
+    // per cell must fit the remaining via slots.
+    if (grid.viaLimited()) {
+        steiner::Topology tentative = topo;
+        tentative.removeSegment(det.removed);
+        for (const geom::Segment* seg : {&det.leg1, &det.mid, &det.leg2}) {
+            if (!seg->degenerate()) tentative.addSegment(*seg);
+        }
+        std::map<int, int> delta;
+        for (const auto& [cell, n] : computeViaUse(grid, tentative)) {
+            delta[cell] += n;
+        }
+        for (const auto& [cell, n] : computeViaUse(grid, topo)) {
+            delta[cell] -= n;
+        }
+        for (const auto& [cell, d] : delta) {
+            if (d > 0 && routed.usage.viaRemaining(cell) < d) return false;
+        }
+    }
+    return true;
+}
+
+void applyDetour(RoutedDesign* routed, RoutedBit* bit, const Detour& det) {
+    const grid::RoutingGrid& grid = routed->usage.grid();
+    const auto viasBefore =
+        grid.viaLimited() ? computeViaUse(grid, bit->topo)
+                          : std::vector<std::pair<int, int>>{};
+    // Release the removed straight run.
+    const int removedLayer =
+        det.removed.horizontal() ? bit->hLayer : bit->vLayer;
+    for (const int e : grid.edgesOnSegment(det.removed, removedLayer)) {
+        routed->usage.remove(e, 1);
+    }
+    bit->topo.removeSegment(det.removed);
+    // Commit the three detour legs.
+    for (const geom::Segment* seg : {&det.leg1, &det.mid, &det.leg2}) {
+        if (seg->degenerate()) continue;
+        const int layer = seg->horizontal() ? bit->hLayer : bit->vLayer;
+        for (const int e : grid.edgesOnSegment(*seg, layer)) {
+            routed->usage.add(e, 1);
+        }
+        bit->topo.addSegment(*seg);
+    }
+    if (grid.viaLimited()) {
+        std::map<int, int> delta;
+        for (const auto& [cell, n] : computeViaUse(grid, bit->topo)) {
+            delta[cell] += n;
+        }
+        for (const auto& [cell, n] : viasBefore) delta[cell] -= n;
+        for (const auto& [cell, d] : delta) {
+            if (d > 0) routed->usage.addVias(cell, d);
+            else if (d < 0) routed->usage.removeVias(cell, -d);
+        }
+    }
+}
+
+}  // namespace
+
+RefinementResult refineDistances(const RoutingProblem& prob,
+                                 RoutedDesign* routed) {
+    const StreakOptions& opts = prob.opts;
+    RefinementResult result;
+
+    // Lines 1-4: locate violating bits/pins and their targets.
+    const std::vector<GroupDistanceReport> before =
+        analyzeDistances(prob, *routed, opts.distanceThresholdFraction);
+    result.violatingGroupsBefore = countViolatingGroups(before);
+    result.thresholds.assign(before.size(), -1);
+    for (const GroupDistanceReport& r : before) {
+        result.thresholds[static_cast<size_t>(r.groupIndex)] = r.threshold;
+    }
+
+    for (const GroupDistanceReport& rep : before) {
+        for (const PinDeviation& dev : rep.violations) {
+            ++result.pinsConsidered;
+            RoutedBit& bit = routed->bits[static_cast<size_t>(dev.routedBitIndex)];
+            const geom::Point pin =
+                bit.topo.pins()[static_cast<size_t>(dev.pinIndex)];
+            const Connection conn = findTerminalConnection(bit.topo, pin);
+            if (!conn.found) continue;
+
+            // A shift of s adds 2*s wire. Aim at matching the family's
+            // target distance (dst' = familyMax); fall back towards the
+            // minimum shift that still clears the threshold.
+            const int deficit = dev.familyMax - dev.distance;
+            const int sIdeal =
+                std::min(opts.maxDetourShift, (deficit + 1) / 2);
+            const int sMin = std::max(
+                1, (deficit - rep.threshold + 1) / 2);
+            if (sMin > opts.maxDetourShift) continue;
+
+            bool fixed = false;
+            for (int s = sIdeal; s >= sMin && !fixed; --s) {
+                for (const bool positive : {true, false}) {
+                    const Detour det = makeDetour(conn, s, positive);
+                    if (detourLegal(*routed, bit.topo, det, bit.hLayer,
+                                    bit.vLayer)) {
+                        applyDetour(routed, &bit, det);
+                        result.addedWirelength += 2L * s;
+                        fixed = true;
+                        break;
+                    }
+                }
+            }
+            if (fixed) ++result.pinsFixed;
+        }
+    }
+
+    const std::vector<GroupDistanceReport> after =
+        analyzeDistances(prob, *routed, opts.distanceThresholdFraction,
+                         &result.thresholds);
+    result.violatingGroupsAfter = countViolatingGroups(after);
+    return result;
+}
+
+}  // namespace streak::post

@@ -1,0 +1,34 @@
+// Post-routing refinement (Sec. IV-C, Algorithm 4, Fig. 10).
+//
+// Sinks whose source-to-sink distance falls too far below their family's
+// maximum get capacity-legal twisting detours: the violating pin's
+// terminal rectilinear connection is shifted sideways (vertical shifting
+// for horizontal connections and vice versa), adding 2*s of wire per
+// shift s, until the deviation drops under the threshold. Only the
+// violating connection moves; the rest of the topology — and hence its
+// regularity — is preserved.
+#pragma once
+
+#include "core/distance.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+
+namespace streak::post {
+
+struct RefinementResult {
+    int violatingGroupsBefore = 0;
+    int violatingGroupsAfter = 0;
+    int pinsConsidered = 0;
+    int pinsFixed = 0;
+    long addedWirelength = 0;
+    /// Initial per-group thresholds (reused for the "after" analysis).
+    std::vector<int> thresholds;
+};
+
+/// Refine `routed` in place. Thresholds derive from the initial distances
+/// per the paper (thresholdFraction of the max initial source-to-sink
+/// distance per group).
+RefinementResult refineDistances(const RoutingProblem& prob,
+                                 RoutedDesign* routed);
+
+}  // namespace streak::post

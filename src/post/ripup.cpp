@@ -1,0 +1,155 @@
+#include "post/ripup.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "grid/routing_grid.hpp"
+
+namespace streak::post {
+
+namespace {
+
+/// Usage bookkeeping for a per-object solution.
+class UsageState {
+public:
+    explicit UsageState(const RoutingProblem& prob)
+        : prob_(prob), usage_(prob.design->grid) {
+        for (int i = 0; i < prob.numObjects(); ++i) add(i, -1);
+    }
+
+    void syncFrom(const std::vector<int>& chosen) {
+        usage_.clear();
+        for (size_t i = 0; i < chosen.size(); ++i) {
+            add(static_cast<int>(i), chosen[i]);
+        }
+    }
+
+    void add(int obj, int cand) {
+        if (cand < 0) return;
+        const RouteCandidate& c =
+            prob_.candidates[static_cast<size_t>(obj)][static_cast<size_t>(cand)];
+        for (const auto& [edge, amount] : c.edgeUse) usage_.add(edge, amount);
+        for (const auto& [cell, amount] : c.viaUse) {
+            usage_.addVias(cell, amount);
+        }
+    }
+    void remove(int obj, int cand) {
+        if (cand < 0) return;
+        const RouteCandidate& c =
+            prob_.candidates[static_cast<size_t>(obj)][static_cast<size_t>(cand)];
+        for (const auto& [edge, amount] : c.edgeUse) {
+            usage_.remove(edge, amount);
+        }
+        for (const auto& [cell, amount] : c.viaUse) {
+            usage_.removeVias(cell, amount);
+        }
+    }
+
+    [[nodiscard]] bool fits(const RouteCandidate& c) const {
+        for (const auto& [edge, amount] : c.edgeUse) {
+            if (usage_.remaining(edge) < amount) return false;
+        }
+        for (const auto& [cell, amount] : c.viaUse) {
+            if (usage_.viaRemaining(cell) < amount) return false;
+        }
+        return true;
+    }
+
+    /// Objects whose committed routes keep candidate `c` from fitting.
+    [[nodiscard]] std::set<int> blockersOf(const RouteCandidate& c,
+                                           const std::vector<int>& chosen) const {
+        std::set<int> blockers;
+        std::set<int> tightEdges;
+        for (const auto& [edge, amount] : c.edgeUse) {
+            if (usage_.remaining(edge) < amount) tightEdges.insert(edge);
+        }
+        if (tightEdges.empty()) return blockers;
+        for (size_t i = 0; i < chosen.size(); ++i) {
+            if (chosen[i] < 0) continue;
+            const RouteCandidate& other =
+                prob_.candidates[i][static_cast<size_t>(chosen[i])];
+            for (const auto& [edge, amount] : other.edgeUse) {
+                if (tightEdges.contains(edge)) {
+                    blockers.insert(static_cast<int>(i));
+                    break;
+                }
+            }
+        }
+        return blockers;
+    }
+
+private:
+    const RoutingProblem& prob_;
+    grid::EdgeUsage usage_;
+};
+
+}  // namespace
+
+RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
+                            int maxRounds) {
+    RipupResult result;
+    UsageState state(prob);
+    state.syncFrom(sol->chosen);
+    std::set<int> everRipped;
+
+    for (int round = 0; round < maxRounds; ++round) {
+        bool progress = false;
+        for (int i = 0; i < prob.numObjects(); ++i) {
+            if (sol->chosen[static_cast<size_t>(i)] >= 0) continue;
+            const auto& cands = prob.candidates[static_cast<size_t>(i)];
+            if (cands.empty()) continue;
+
+            // Direct fit first (capacity may have been freed by earlier
+            // rips).
+            bool placed = false;
+            for (size_t j = 0; j < cands.size() && !placed; ++j) {
+                if (state.fits(cands[j])) {
+                    sol->chosen[static_cast<size_t>(i)] = static_cast<int>(j);
+                    state.add(i, static_cast<int>(j));
+                    ++result.objectsRecovered;
+                    placed = true;
+                    progress = true;
+                }
+            }
+            if (placed) continue;
+
+            // Rip the blockers of the cheapest candidate, place it, then
+            // try to re-route the victims elsewhere.
+            const RouteCandidate& target = cands.front();
+            const std::set<int> victims = state.blockersOf(target, sol->chosen);
+            if (victims.empty()) continue;  // blocked by blockages, not nets
+            for (const int v : victims) {
+                state.remove(v, sol->chosen[static_cast<size_t>(v)]);
+                sol->chosen[static_cast<size_t>(v)] = -1;
+                if (everRipped.insert(v).second) ++result.objectsRipped;
+            }
+            if (!state.fits(target)) continue;  // still blocked; victims
+                                                // retry in the next sweep
+            sol->chosen[static_cast<size_t>(i)] = 0;
+            state.add(i, 0);
+            ++result.objectsRecovered;
+            progress = true;
+
+            for (const int v : victims) {
+                const auto& vc = prob.candidates[static_cast<size_t>(v)];
+                for (size_t j = 0; j < vc.size(); ++j) {
+                    if (state.fits(vc[j])) {
+                        sol->chosen[static_cast<size_t>(v)] =
+                            static_cast<int>(j);
+                        state.add(v, static_cast<int>(j));
+                        break;
+                    }
+                }
+            }
+        }
+        if (!progress) break;
+    }
+
+    for (const int v : everRipped) {
+        if (sol->chosen[static_cast<size_t>(v)] < 0) ++result.objectsLost;
+    }
+    sol->objective = solutionObjective(prob, sol->chosen);
+    return result;
+}
+
+}  // namespace streak::post

@@ -1,0 +1,29 @@
+// Rip-up-and-reroute: the classical alternative the paper explicitly
+// rejects for post optimization (Sec. IV argues it causes domino effects
+// and topology distortion). Implemented here as a comparison baseline so
+// that rejection is measurable: rip-up recovers leftover objects by
+// evicting committed ones, re-routing the victims wherever they still
+// fit — typically trading regularity (and sometimes other objects) for
+// the recovered routes, where bottom-up clustering does not.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+
+namespace streak::post {
+
+struct RipupResult {
+    int objectsRecovered = 0;  // previously unrouted objects now routed
+    int objectsRipped = 0;     // committed objects evicted at least once
+    int objectsLost = 0;       // ripped objects that could not re-route
+};
+
+/// Try to route every unrouted object by ripping up committed blockers.
+/// Operates on a solver solution (per-object choices) and returns an
+/// updated solution; the caller re-materializes. `maxRounds` bounds the
+/// domino cascade.
+RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
+                            int maxRounds = 3);
+
+}  // namespace streak::post

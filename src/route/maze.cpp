@@ -1,0 +1,176 @@
+#include "route/maze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace streak::route {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+    double dist;
+    int node;
+    bool operator<(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+}  // namespace
+
+std::optional<RoutedNet> MazeRouter::route(const std::vector<geom::Point>& pins,
+                                           int driver) {
+    const grid::RoutingGrid& g = usage_->grid();
+    const int W = g.width();
+    const int H = g.height();
+    const int L = g.numLayers();
+    const int numNodes = W * H * L;
+    const auto nodeId = [&](int x, int y, int l) { return (l * H + y) * W + x; };
+    const auto nodeX = [&](int n) { return n % W; };
+    const auto nodeY = [&](int n) { return (n / W) % H; };
+    const auto nodeL = [&](int n) { return n / (W * H); };
+
+    const auto edgeCost = [&](int edge) -> double {
+        if (usage_->remaining(edge) < 1) {
+            if (!opts_.allowOverflow || g.capacity(edge) == 0) return kInf;
+            return opts_.overflowCost;
+        }
+        const double cap = std::max(1, g.capacity(edge));
+        const double ratio = static_cast<double>(usage_->usage(edge)) / cap;
+        return 1.0 + opts_.congestionPenalty * ratio * ratio;
+    };
+
+    RoutedNet net;
+    std::vector<bool> inTree(static_cast<size_t>(numNodes), false);
+    std::vector<int> treeNodes;
+    for (int l = 0; l < L; ++l) {
+        const int n = nodeId(pins[static_cast<size_t>(driver)].x,
+                             pins[static_cast<size_t>(driver)].y, l);
+        inTree[static_cast<size_t>(n)] = true;
+        treeNodes.push_back(n);
+    }
+
+    // Targets ordered nearest-to-driver first (greedy sequential Steiner).
+    std::vector<int> order;
+    for (int i = 0; i < static_cast<int>(pins.size()); ++i) {
+        if (i != driver) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const int da = manhattan(pins[static_cast<size_t>(a)],
+                                 pins[static_cast<size_t>(driver)]);
+        const int db = manhattan(pins[static_cast<size_t>(b)],
+                                 pins[static_cast<size_t>(driver)]);
+        if (da != db) return da < db;
+        return a < b;
+    });
+
+    std::vector<double> dist(static_cast<size_t>(numNodes));
+    std::vector<int> parent(static_cast<size_t>(numNodes));
+    std::vector<int> parentEdge(static_cast<size_t>(numNodes));
+
+    // Edges committed so far for this net (rolled back on failure).
+    std::vector<int> committed;
+    const auto rollback = [&] {
+        for (const int e : committed) usage_->remove(e, 1);
+    };
+
+    for (const int target : order) {
+        const geom::Point tp = pins[static_cast<size_t>(target)];
+        if (inTree[static_cast<size_t>(nodeId(tp.x, tp.y, 0))]) continue;
+
+        std::fill(dist.begin(), dist.end(), kInf);
+        std::fill(parent.begin(), parent.end(), -1);
+        std::fill(parentEdge.begin(), parentEdge.end(), -1);
+        std::priority_queue<QueueEntry> pq;
+        for (const int n : treeNodes) {
+            dist[static_cast<size_t>(n)] = 0.0;
+            pq.push({0.0, n});
+        }
+
+        int reached = -1;
+        while (!pq.empty()) {
+            const QueueEntry top = pq.top();
+            pq.pop();
+            if (top.dist > dist[static_cast<size_t>(top.node)]) continue;
+            const int x = nodeX(top.node);
+            const int y = nodeY(top.node);
+            const int l = nodeL(top.node);
+            if (x == tp.x && y == tp.y) {
+                reached = top.node;
+                break;
+            }
+            const auto relax = [&](int nn, double cost, int viaEdge) {
+                const double nd = top.dist + cost;
+                if (nd < dist[static_cast<size_t>(nn)]) {
+                    dist[static_cast<size_t>(nn)] = nd;
+                    parent[static_cast<size_t>(nn)] = top.node;
+                    parentEdge[static_cast<size_t>(nn)] = viaEdge;
+                    pq.push({nd, nn});
+                }
+            };
+            // Wire moves along the layer's direction.
+            if (g.layerDir(l) == grid::Dir::Horizontal) {
+                if (x + 1 < W) {
+                    const int e = g.edgeId(l, x, y);
+                    const double c = edgeCost(e);
+                    if (c < kInf) relax(nodeId(x + 1, y, l), c, e);
+                }
+                if (x > 0) {
+                    const int e = g.edgeId(l, x - 1, y);
+                    const double c = edgeCost(e);
+                    if (c < kInf) relax(nodeId(x - 1, y, l), c, e);
+                }
+            } else {
+                if (y + 1 < H) {
+                    const int e = g.edgeId(l, x, y);
+                    const double c = edgeCost(e);
+                    if (c < kInf) relax(nodeId(x, y + 1, l), c, e);
+                }
+                if (y > 0) {
+                    const int e = g.edgeId(l, x, y - 1);
+                    const double c = edgeCost(e);
+                    if (c < kInf) relax(nodeId(x, y - 1, l), c, e);
+                }
+            }
+            // Via moves.
+            if (l + 1 < L) relax(nodeId(x, y, l + 1), opts_.viaCost, -1);
+            if (l > 0) relax(nodeId(x, y, l - 1), opts_.viaCost, -1);
+        }
+        if (reached < 0) {
+            rollback();
+            return std::nullopt;
+        }
+        // Trace back, commit edges, extend the tree.
+        int n = reached;
+        while (parent[static_cast<size_t>(n)] >= 0 &&
+               !inTree[static_cast<size_t>(n)]) {
+            const int e = parentEdge[static_cast<size_t>(n)];
+            if (e >= 0) {
+                usage_->add(e, 1);
+                committed.push_back(e);
+                net.edges.push_back(e);
+                ++net.wirelength2d;
+            } else {
+                ++net.viaCount;
+            }
+            if (!inTree[static_cast<size_t>(n)]) {
+                inTree[static_cast<size_t>(n)] = true;
+                treeNodes.push_back(n);
+            }
+            n = parent[static_cast<size_t>(n)];
+        }
+        // Make the whole target column part of the tree so later sinks can
+        // tap the net at any layer of this pin.
+        for (int l = 0; l < L; ++l) {
+            const int col = nodeId(tp.x, tp.y, l);
+            if (!inTree[static_cast<size_t>(col)]) {
+                inTree[static_cast<size_t>(col)] = true;
+                treeNodes.push_back(col);
+            }
+        }
+    }
+    return net;
+}
+
+}  // namespace streak::route

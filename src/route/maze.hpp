@@ -1,0 +1,54 @@
+// Congestion-aware 3-D maze (Dijkstra) router.
+//
+// Substrate for the baseline "manual design" surrogate: multi-terminal
+// nets are routed pin-by-pin onto the layered grid, with per-edge wire
+// cost, via cost, and a soft congestion penalty that steers paths away
+// from nearly-full edges. Full edges are hard-avoided.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace streak::route {
+
+struct MazeOptions {
+    double viaCost = 2.0;
+    /// Extra cost multiplier as an edge approaches capacity:
+    /// cost *= 1 + congestionPenalty * (usage / capacity)^2.
+    double congestionPenalty = 4.0;
+    /// When true, full edges stay usable at `overflowCost` instead of
+    /// being forbidden — models a hand design that overshoots capacity in
+    /// hotspots (the Fig. 11(a)/12(a) behaviour) rather than detouring.
+    bool allowOverflow = false;
+    double overflowCost = 8.0;
+};
+
+/// One routed net: the 3-D edges used (grid edge ids), plus summary
+/// numbers. Vias are implicit (layer changes at shared (x, y) columns).
+struct RoutedNet {
+    std::vector<int> edges;  // 3-D routing edge ids (committed to usage)
+    int wirelength2d = 0;
+    int viaCount = 0;
+};
+
+class MazeRouter {
+public:
+    MazeRouter(grid::EdgeUsage* usage, const MazeOptions& opts = {})
+        : usage_(usage), opts_(opts) {}
+
+    /// Route a multi-pin net: connects all pins into one tree, starting
+    /// from `driver`. Pins are 2-D; any layer above a pin is reachable
+    /// (via stacks are free in distance but charged viaCost each level).
+    /// On success the path is committed to the usage map.
+    [[nodiscard]] std::optional<RoutedNet> route(
+        const std::vector<geom::Point>& pins, int driver);
+
+private:
+    grid::EdgeUsage* usage_;
+    MazeOptions opts_;
+};
+
+}  // namespace streak::route

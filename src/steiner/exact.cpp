@@ -1,0 +1,42 @@
+#include "steiner/exact.hpp"
+
+#include <algorithm>
+
+#include "steiner/rsmt.hpp"
+
+namespace streak::steiner {
+
+namespace {
+
+void enumerate(const std::vector<geom::Point>& pins,
+               const std::vector<geom::Point>& hanan, size_t firstCandidate,
+               std::vector<geom::Point>* chosen, int remaining, long* best) {
+    {
+        std::vector<geom::Point> all = pins;
+        all.insert(all.end(), chosen->begin(), chosen->end());
+        *best = std::min(*best, mstLength(all));
+    }
+    if (remaining == 0) return;
+    for (size_t c = firstCandidate; c < hanan.size(); ++c) {
+        chosen->push_back(hanan[c]);
+        enumerate(pins, hanan, c + 1, chosen, remaining - 1, best);
+        chosen->pop_back();
+    }
+}
+
+}  // namespace
+
+long exactRsmtLength(const std::vector<geom::Point>& pins,
+                     int maxSteinerPoints) {
+    if (pins.size() <= 2) return mstLength(pins);
+    const int n = static_cast<int>(pins.size());
+    int budget = maxSteinerPoints < 0 ? n - 2 : maxSteinerPoints;
+    budget = std::min(budget, n - 2);
+    const std::vector<geom::Point> hanan = hananPoints(pins);
+    long best = mstLength(pins);
+    std::vector<geom::Point> chosen;
+    enumerate(pins, hanan, 0, &chosen, budget, &best);
+    return best;
+}
+
+}  // namespace streak::steiner

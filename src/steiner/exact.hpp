@@ -1,0 +1,22 @@
+// Exact rectilinear Steiner minimal tree length for small pin sets.
+//
+// By Hanan's theorem an RSMT uses only Hanan-grid Steiner points, and at
+// most n-2 of them; exhaustive subset enumeration is therefore exact for
+// small n. This is a test oracle for the BI1S heuristic (and a reference
+// for wire-length estimates), not a production router: cost grows
+// combinatorially with the pin count.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace streak::steiner {
+
+/// Exact RSMT length of `pins`. `maxSteinerPoints` bounds the enumerated
+/// subset size (n-2 is always sufficient; smaller trades exactness for
+/// speed on larger inputs). Intended for pin counts <= ~6.
+[[nodiscard]] long exactRsmtLength(const std::vector<geom::Point>& pins,
+                                   int maxSteinerPoints = -1);
+
+}  // namespace streak::steiner

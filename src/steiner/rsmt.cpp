@@ -1,0 +1,293 @@
+#include "steiner/rsmt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace streak::steiner {
+
+std::vector<std::pair<int, int>> rectilinearMST(
+    const std::vector<geom::Point>& pts) {
+    const int n = static_cast<int>(pts.size());
+    std::vector<std::pair<int, int>> edges;
+    if (n <= 1) return edges;
+    edges.reserve(static_cast<size_t>(n - 1));
+
+    std::vector<bool> inTree(static_cast<size_t>(n), false);
+    std::vector<int> best(static_cast<size_t>(n),
+                          std::numeric_limits<int>::max());
+    std::vector<int> parent(static_cast<size_t>(n), -1);
+    inTree[0] = true;
+    for (int v = 1; v < n; ++v) {
+        best[static_cast<size_t>(v)] = manhattan(pts[0], pts[static_cast<size_t>(v)]);
+        parent[static_cast<size_t>(v)] = 0;
+    }
+    for (int added = 1; added < n; ++added) {
+        int pick = -1;
+        int pickCost = std::numeric_limits<int>::max();
+        for (int v = 0; v < n; ++v) {
+            if (!inTree[static_cast<size_t>(v)] &&
+                best[static_cast<size_t>(v)] < pickCost) {
+                pick = v;
+                pickCost = best[static_cast<size_t>(v)];
+            }
+        }
+        assert(pick >= 0);
+        inTree[static_cast<size_t>(pick)] = true;
+        edges.emplace_back(parent[static_cast<size_t>(pick)], pick);
+        for (int v = 0; v < n; ++v) {
+            if (inTree[static_cast<size_t>(v)]) continue;
+            const int d = manhattan(pts[static_cast<size_t>(pick)],
+                                    pts[static_cast<size_t>(v)]);
+            if (d < best[static_cast<size_t>(v)]) {
+                best[static_cast<size_t>(v)] = d;
+                parent[static_cast<size_t>(v)] = pick;
+            }
+        }
+    }
+    return edges;
+}
+
+long mstLength(const std::vector<geom::Point>& pts) {
+    long total = 0;
+    for (const auto& [a, b] : rectilinearMST(pts)) {
+        total += manhattan(pts[static_cast<size_t>(a)], pts[static_cast<size_t>(b)]);
+    }
+    return total;
+}
+
+std::vector<geom::Point> hananPoints(const std::vector<geom::Point>& pins) {
+    std::vector<int> xs;
+    std::vector<int> ys;
+    xs.reserve(pins.size());
+    ys.reserve(pins.size());
+    for (geom::Point p : pins) {
+        xs.push_back(p.x);
+        ys.push_back(p.y);
+    }
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+    std::unordered_set<geom::Point> pinSet(pins.begin(), pins.end());
+    std::vector<geom::Point> out;
+    for (int x : xs) {
+        for (int y : ys) {
+            const geom::Point p{x, y};
+            if (!pinSet.contains(p)) out.push_back(p);
+        }
+    }
+    return out;
+}
+
+std::vector<geom::Point> iterated1Steiner(const std::vector<geom::Point>& pins,
+                                          int maxInserts) {
+    std::vector<geom::Point> accepted;
+    if (pins.size() < 3) return accepted;
+
+    std::vector<geom::Point> current = pins;
+    long currentCost = mstLength(current);
+    for (int round = 0; round < maxInserts; ++round) {
+        const std::vector<geom::Point> candidates = hananPoints(current);
+        geom::Point bestPoint{};
+        long bestCost = currentCost;
+        bool found = false;
+        for (geom::Point c : candidates) {
+            current.push_back(c);
+            const long cost = mstLength(current);
+            current.pop_back();
+            if (cost < bestCost) {
+                bestCost = cost;
+                bestPoint = c;
+                found = true;
+            }
+        }
+        if (!found) break;
+        current.push_back(bestPoint);
+        accepted.push_back(bestPoint);
+        currentCost = bestCost;
+    }
+
+    // Degree pruning: drop accepted points with MST degree <= 2 (they do
+    // not branch the tree and only add bends).
+    for (;;) {
+        const auto edges = rectilinearMST(current);
+        std::vector<int> degree(current.size(), 0);
+        for (const auto& [a, b] : edges) {
+            ++degree[static_cast<size_t>(a)];
+            ++degree[static_cast<size_t>(b)];
+        }
+        bool removed = false;
+        for (size_t i = current.size(); i-- > pins.size();) {
+            if (degree[i] <= 2) {
+                const geom::Point victim = current[i];
+                current.erase(current.begin() + static_cast<std::ptrdiff_t>(i));
+                std::erase(accepted, victim);
+                removed = true;
+                break;
+            }
+        }
+        if (!removed) break;
+    }
+    return accepted;
+}
+
+Topology rectifyTree(const std::vector<geom::Point>& pins, int driver,
+                     const std::vector<geom::Point>& steiner, LMode mode) {
+    std::vector<geom::Point> all = pins;
+    all.insert(all.end(), steiner.begin(), steiner.end());
+    Topology topo(pins, driver);
+    const auto edges = rectilinearMST(all);
+
+    bool lastLegHorizontal = true;
+    for (const auto& [ia, ib] : edges) {
+        const geom::Point a = all[static_cast<size_t>(ia)];
+        const geom::Point b = all[static_cast<size_t>(ib)];
+        if (a.x == b.x || a.y == b.y) {
+            topo.addSegment({a, b});
+            lastLegHorizontal = (a.y == b.y);
+            continue;
+        }
+        const geom::Point cornerLower{b.x, a.y};  // horizontal leg first
+        const geom::Point cornerUpper{a.x, b.y};  // vertical leg first
+        geom::Point corner{};
+        switch (mode) {
+            case LMode::LowerFirst:
+                corner = cornerLower;
+                break;
+            case LMode::UpperFirst:
+                corner = cornerUpper;
+                break;
+            case LMode::Adaptive: {
+                // Prefer the corner already touched by placed wire; when
+                // both/neither, continue in the previous leg direction to
+                // reduce zig-zagging.
+                const auto touches = [&](geom::Point p) {
+                    const std::array<UnitEdge, 4> around{
+                        UnitEdge{p, true}, UnitEdge{{p.x - 1, p.y}, true},
+                        UnitEdge{p, false}, UnitEdge{{p.x, p.y - 1}, false}};
+                    for (const UnitEdge& e : around) {
+                        if (topo.wire().contains(e)) return true;
+                    }
+                    return false;
+                };
+                const bool lowerTouch = touches(cornerLower);
+                const bool upperTouch = touches(cornerUpper);
+                if (lowerTouch != upperTouch) {
+                    corner = lowerTouch ? cornerLower : cornerUpper;
+                } else {
+                    corner = lastLegHorizontal ? cornerLower : cornerUpper;
+                }
+                break;
+            }
+        }
+        topo.addLShape(a, b, corner);
+        lastLegHorizontal = (corner.y == b.y);
+    }
+    return topo;
+}
+
+namespace {
+
+/// Break cycles (overlapping L-shapes can create them) and trim dangling
+/// non-pin stubs, returning a proper tree covering all pins.
+Topology pruneToTree(const Topology& t) {
+    if (t.isTree()) return t;
+    // Spanning tree via BFS over the wire graph.
+    std::unordered_map<geom::Point, std::vector<geom::Point>> adj;
+    for (const UnitEdge& e : t.wire()) {
+        adj[e.at].push_back(e.other());
+        adj[e.other()].push_back(e.at);
+    }
+    Topology out(t.pins(), t.driverIndex());
+    if (t.wire().empty()) return out;
+    std::unordered_set<geom::Point> seen;
+    std::vector<geom::Point> stack{t.driverPin()};
+    seen.insert(t.driverPin());
+    std::vector<geom::Segment> kept;
+    while (!stack.empty()) {
+        const geom::Point p = stack.back();
+        stack.pop_back();
+        const auto it = adj.find(p);
+        if (it == adj.end()) continue;
+        for (geom::Point q : it->second) {
+            if (seen.insert(q).second) {
+                kept.push_back({p, q});
+                stack.push_back(q);
+            }
+        }
+    }
+    for (const geom::Segment& s : kept) out.addSegment(s);
+
+    // Trim degree-1 non-pin leaves repeatedly.
+    std::unordered_set<geom::Point> pinSet(t.pins().begin(), t.pins().end());
+    for (;;) {
+        std::unordered_map<geom::Point, int> degree;
+        for (const UnitEdge& e : out.wire()) {
+            ++degree[e.at];
+            ++degree[e.other()];
+        }
+        std::vector<UnitEdge> removable;
+        for (const UnitEdge& e : out.wire()) {
+            const bool leafA = degree[e.at] == 1 && !pinSet.contains(e.at);
+            const bool leafB = degree[e.other()] == 1 && !pinSet.contains(e.other());
+            if (leafA || leafB) removable.push_back(e);
+        }
+        if (removable.empty()) break;
+        Topology next(out.pins(), out.driverIndex());
+        std::unordered_set<UnitEdge, UnitEdgeHash> drop(removable.begin(),
+                                                        removable.end());
+        for (const UnitEdge& e : out.wire()) {
+            if (!drop.contains(e)) next.addSegment(e.segment());
+        }
+        out = std::move(next);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<Topology> enumerateTopologies(const std::vector<geom::Point>& pins,
+                                          int driver,
+                                          const EnumerateOptions& opts) {
+    std::vector<Topology> raw;
+    const std::vector<geom::Point> noSteiner;
+    for (const LMode mode :
+         {LMode::Adaptive, LMode::LowerFirst, LMode::UpperFirst}) {
+        raw.push_back(rectifyTree(pins, driver, noSteiner, mode));
+    }
+    if (opts.useSteinerPoints && pins.size() >= 3) {
+        const std::vector<geom::Point> steiner = iterated1Steiner(pins);
+        if (!steiner.empty()) {
+            for (const LMode mode :
+                 {LMode::Adaptive, LMode::LowerFirst, LMode::UpperFirst}) {
+                raw.push_back(rectifyTree(pins, driver, steiner, mode));
+            }
+        }
+    }
+
+    for (Topology& t : raw) t = pruneToTree(t);
+
+    // Dedupe by wire shape, then rank by wl + lambda * bends.
+    std::vector<Topology> unique;
+    std::unordered_set<std::uint64_t> seen;
+    for (Topology& t : raw) {
+        if (seen.insert(t.wireHash()).second) unique.push_back(std::move(t));
+    }
+    std::stable_sort(unique.begin(), unique.end(),
+                     [&](const Topology& a, const Topology& b) {
+                         const int ca = a.wirelength() + opts.bendPenalty * a.bendCount();
+                         const int cb = b.wirelength() + opts.bendPenalty * b.bendCount();
+                         return ca < cb;
+                     });
+    if (static_cast<int>(unique.size()) > opts.maxCandidates) {
+        unique.resize(static_cast<size_t>(opts.maxCandidates));
+    }
+    return unique;
+}
+
+}  // namespace streak::steiner

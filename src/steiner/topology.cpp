@@ -1,0 +1,286 @@
+#include "steiner/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace streak::steiner {
+
+namespace {
+
+/// Wire incidence at a point: which of the four unit edges around `p`
+/// exist in `wire`.
+struct Incidence {
+    bool left = false, right = false, down = false, up = false;
+
+    [[nodiscard]] int degree() const {
+        return int{left} + int{right} + int{down} + int{up};
+    }
+    [[nodiscard]] bool hasHorizontal() const { return left || right; }
+    [[nodiscard]] bool hasVertical() const { return down || up; }
+};
+
+Incidence incidenceAt(const std::unordered_set<UnitEdge, UnitEdgeHash>& wire,
+                      geom::Point p) {
+    Incidence inc;
+    inc.right = wire.contains({p, true});
+    inc.left = wire.contains({{p.x - 1, p.y}, true});
+    inc.up = wire.contains({p, false});
+    inc.down = wire.contains({{p.x, p.y - 1}, false});
+    return inc;
+}
+
+}  // namespace
+
+Topology::Topology(std::vector<geom::Point> pins, int driver)
+    : pins_(std::move(pins)), driver_(driver) {
+    if (pins_.empty()) throw std::invalid_argument("Topology: no pins");
+    if (driver_ < 0 || driver_ >= static_cast<int>(pins_.size())) {
+        throw std::invalid_argument("Topology: driver index out of range");
+    }
+}
+
+void Topology::addSegment(const geom::Segment& seg) {
+    assert(seg.rectilinear());
+    const geom::Segment c = seg.canonical();
+    if (c.horizontal()) {
+        for (int x = c.a.x; x < c.b.x; ++x) wire_.insert({{x, c.a.y}, true});
+    } else {
+        for (int y = c.a.y; y < c.b.y; ++y) wire_.insert({{c.a.x, y}, false});
+    }
+}
+
+void Topology::addLShape(geom::Point a, geom::Point b, geom::Point corner) {
+    assert((corner.x == a.x && corner.y == b.y) ||
+           (corner.x == b.x && corner.y == a.y));
+    addSegment({a, corner});
+    addSegment({corner, b});
+}
+
+void Topology::removeSegment(const geom::Segment& seg) {
+    assert(seg.rectilinear());
+    const geom::Segment c = seg.canonical();
+    if (c.horizontal()) {
+        for (int x = c.a.x; x < c.b.x; ++x) wire_.erase({{x, c.a.y}, true});
+    } else {
+        for (int y = c.a.y; y < c.b.y; ++y) wire_.erase({{c.a.x, y}, false});
+    }
+}
+
+std::unordered_set<geom::Point> Topology::wirePoints() const {
+    std::unordered_set<geom::Point> points;
+    for (const UnitEdge& e : wire_) {
+        points.insert(e.at);
+        points.insert(e.other());
+    }
+    return points;
+}
+
+std::unordered_map<geom::Point, std::vector<geom::Point>> Topology::adjacency()
+    const {
+    std::unordered_map<geom::Point, std::vector<geom::Point>> adj;
+    for (const UnitEdge& e : wire_) {
+        adj[e.at].push_back(e.other());
+        adj[e.other()].push_back(e.at);
+    }
+    return adj;
+}
+
+bool Topology::connected() const {
+    const auto adj = adjacency();
+    // Every pin must be present in the wire graph (or all pins coincide
+    // with the single start point when there is no wire at all).
+    if (wire_.empty()) {
+        return std::all_of(pins_.begin(), pins_.end(),
+                           [&](geom::Point p) { return p == pins_[0]; });
+    }
+    std::unordered_set<geom::Point> seen;
+    std::deque<geom::Point> queue{pins_[0]};
+    seen.insert(pins_[0]);
+    while (!queue.empty()) {
+        const geom::Point p = queue.front();
+        queue.pop_front();
+        const auto it = adj.find(p);
+        if (it == adj.end()) continue;
+        for (geom::Point q : it->second) {
+            if (seen.insert(q).second) queue.push_back(q);
+        }
+    }
+    for (geom::Point p : pins_) {
+        if (!seen.contains(p)) return false;
+    }
+    // Also require the wire itself to be one component (no floating metal).
+    for (const UnitEdge& e : wire_) {
+        if (!seen.contains(e.at)) return false;
+    }
+    return true;
+}
+
+bool Topology::isTree() const {
+    if (!connected()) return false;
+    // |V| = |E| + 1 for a tree; count distinct lattice points in the wire.
+    if (wire_.empty()) return true;
+    std::unordered_set<geom::Point> points;
+    for (const UnitEdge& e : wire_) {
+        points.insert(e.at);
+        points.insert(e.other());
+    }
+    return points.size() == wire_.size() + 1;
+}
+
+int Topology::bendCount() const {
+    return static_cast<int>(viaPoints().size());
+}
+
+std::vector<geom::Point> Topology::viaPoints() const {
+    std::unordered_set<geom::Point> points;
+    for (const UnitEdge& e : wire_) {
+        points.insert(e.at);
+        points.insert(e.other());
+    }
+    std::vector<geom::Point> vias;
+    for (geom::Point p : points) {
+        const Incidence inc = incidenceAt(wire_, p);
+        if (inc.hasHorizontal() && inc.hasVertical()) vias.push_back(p);
+    }
+    return vias;
+}
+
+std::vector<int> Topology::sourceToSinkDistances() const {
+    std::vector<int> dist(pins_.size(), -1);
+    const auto adj = adjacency();
+    std::unordered_map<geom::Point, int> d;
+    std::deque<geom::Point> queue{driverPin()};
+    d[driverPin()] = 0;
+    while (!queue.empty()) {
+        const geom::Point p = queue.front();
+        queue.pop_front();
+        const auto it = adj.find(p);
+        if (it == adj.end()) continue;
+        for (geom::Point q : it->second) {
+            if (!d.contains(q)) {
+                d[q] = d[p] + 1;
+                queue.push_back(q);
+            }
+        }
+    }
+    for (size_t i = 0; i < pins_.size(); ++i) {
+        const auto it = d.find(pins_[i]);
+        if (it != d.end()) dist[i] = it->second;
+    }
+    return dist;
+}
+
+TopoStructure Topology::structure() const {
+    TopoStructure st;
+    std::unordered_map<geom::Point, int> nodeOf;
+
+    std::unordered_map<geom::Point, int> pinAt;
+    for (size_t i = 0; i < pins_.size(); ++i) {
+        pinAt.emplace(pins_[i], static_cast<int>(i));
+    }
+
+    std::unordered_set<geom::Point> points;
+    for (const UnitEdge& e : wire_) {
+        points.insert(e.at);
+        points.insert(e.other());
+    }
+    for (geom::Point p : pins_) points.insert(p);
+
+    auto isFeature = [&](geom::Point p, const Incidence& inc) {
+        if (pinAt.contains(p)) return true;
+        const int deg = inc.degree();
+        if (deg != 2) return true;  // junctions and stub ends
+        return inc.hasHorizontal() && inc.hasVertical();  // bend
+    };
+
+    for (geom::Point p : points) {
+        const Incidence inc = incidenceAt(wire_, p);
+        if (!isFeature(p, inc)) continue;
+        TopoStructure::Node n;
+        n.pt = p;
+        n.degree = inc.degree();
+        n.isBend = inc.degree() == 2 && inc.hasHorizontal() && inc.hasVertical();
+        const auto it = pinAt.find(p);
+        n.pinIndex = it == pinAt.end() ? -1 : it->second;
+        nodeOf.emplace(p, static_cast<int>(st.nodes.size()));
+        st.nodes.push_back(n);
+    }
+
+    // Walk straight runs from each feature node in each outgoing direction;
+    // record each RC once (from the lexicographically smaller endpoint).
+    const auto step = [](geom::Point p, int dir) -> geom::Point {
+        switch (dir) {
+            case 0: return {p.x + 1, p.y};
+            case 1: return {p.x - 1, p.y};
+            case 2: return {p.x, p.y + 1};
+            default: return {p.x, p.y - 1};
+        }
+    };
+    const auto edgeTowards = [](geom::Point p, int dir) -> UnitEdge {
+        switch (dir) {
+            case 0: return {p, true};
+            case 1: return {{p.x - 1, p.y}, true};
+            case 2: return {p, false};
+            default: return {{p.x, p.y - 1}, false};
+        }
+    };
+    for (const auto& [start, startIdx] : nodeOf) {
+        for (int dir = 0; dir < 4; ++dir) {
+            if (!wire_.contains(edgeTowards(start, dir))) continue;
+            geom::Point p = start;
+            do {
+                p = step(p, dir);
+            } while (!nodeOf.contains(p));
+            // Register once: only from the smaller endpoint.
+            if (start < p) {
+                st.rcs.emplace_back(startIdx, nodeOf.at(p));
+            }
+        }
+    }
+    return st;
+}
+
+Topology Topology::remap(const std::unordered_map<int, int>& xMap,
+                         const std::unordered_map<int, int>& yMap) const {
+    const auto mapPt = [&](geom::Point p) -> geom::Point {
+        return {xMap.at(p.x), yMap.at(p.y)};
+    };
+    std::vector<geom::Point> newPins;
+    newPins.reserve(pins_.size());
+    for (geom::Point p : pins_) newPins.push_back(mapPt(p));
+    Topology out(std::move(newPins), driver_);
+    for (const UnitEdge& e : wire_) {
+        out.addSegment({mapPt(e.at), mapPt(e.other())});
+    }
+    return out;
+}
+
+Topology Topology::translate(int dx, int dy) const {
+    std::vector<geom::Point> newPins;
+    newPins.reserve(pins_.size());
+    for (geom::Point p : pins_) newPins.push_back({p.x + dx, p.y + dy});
+    Topology out(std::move(newPins), driver_);
+    for (const UnitEdge& e : wire_) {
+        const geom::Point a{e.at.x + dx, e.at.y + dy};
+        out.wire_.insert({a, e.horizontal});
+    }
+    return out;
+}
+
+std::uint64_t Topology::wireHash() const {
+    // XOR of per-edge hashes is order independent.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const UnitEdge& e : wire_) {
+        std::uint64_t k = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.at.x)) << 33) ^
+                          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.at.y)) << 1) ^
+                          (e.horizontal ? 1u : 0u);
+        k *= 0xbf58476d1ce4e5b9ull;
+        k ^= k >> 27;
+        h ^= k;
+    }
+    return h;
+}
+
+}  // namespace streak::steiner

@@ -1,0 +1,141 @@
+// Rectilinear routing topology.
+//
+// A Topology is the wire shape of one signal bit: a set of unit lattice
+// edges plus the bit's pin locations. Storing unit edges (rather than long
+// segments) makes unioning overlapping L-shapes, connectivity checks and
+// path-length queries trivial and robust.
+//
+// The paper's "rectilinear connections" (RCs) — maximal straight wires
+// between pins/bends/junctions — are recovered on demand by structure().
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/segment.hpp"
+
+namespace streak::steiner {
+
+/// A unit lattice edge, canonically encoded by its lower-left endpoint and
+/// orientation.
+struct UnitEdge {
+    geom::Point at;        // lower / left endpoint
+    bool horizontal = true;
+
+    friend auto operator<=>(const UnitEdge&, const UnitEdge&) = default;
+
+    [[nodiscard]] geom::Point other() const {
+        return horizontal ? geom::Point{at.x + 1, at.y}
+                          : geom::Point{at.x, at.y + 1};
+    }
+
+    [[nodiscard]] geom::Segment segment() const { return {at, other()}; }
+};
+
+struct UnitEdgeHash {
+    size_t operator()(const UnitEdge& e) const noexcept {
+        return std::hash<geom::Point>{}(e.at) * 2 + (e.horizontal ? 1 : 0);
+    }
+};
+
+/// Derived view of a topology: feature nodes (pins, bends, junctions, stub
+/// ends) and the maximal straight RC segments between them.
+struct TopoStructure {
+    struct Node {
+        geom::Point pt;
+        int pinIndex = -1;  // >= 0 when the node is a pin of the topology
+        int degree = 0;
+        bool isBend = false;  // degree-2 corner (one H + one V incident wire)
+    };
+    std::vector<Node> nodes;
+    /// RC segments as (node index, node index); each is straight.
+    std::vector<std::pair<int, int>> rcs;
+
+    [[nodiscard]] int numRCs() const { return static_cast<int>(rcs.size()); }
+};
+
+class Topology {
+public:
+    Topology() = default;
+    /// A topology over the given pins; `driver` indexes into `pins`.
+    Topology(std::vector<geom::Point> pins, int driver);
+
+    [[nodiscard]] const std::vector<geom::Point>& pins() const { return pins_; }
+    [[nodiscard]] int driverIndex() const { return driver_; }
+    [[nodiscard]] geom::Point driverPin() const { return pins_[static_cast<size_t>(driver_)]; }
+
+    /// Add a straight segment's unit edges to the wire (union semantics).
+    void addSegment(const geom::Segment& seg);
+    /// Add both legs of an L-shape from `a` to `b` through `corner`.
+    void addLShape(geom::Point a, geom::Point b, geom::Point corner);
+
+    /// Remove a straight segment's unit edges from the wire (edges not
+    /// present are ignored). Used by the refinement detour surgery.
+    void removeSegment(const geom::Segment& seg);
+
+    /// All lattice points touched by the wire.
+    [[nodiscard]] std::unordered_set<geom::Point> wirePoints() const;
+
+    [[nodiscard]] const std::unordered_set<UnitEdge, UnitEdgeHash>& wire() const {
+        return wire_;
+    }
+    [[nodiscard]] bool empty() const { return wire_.empty(); }
+
+    /// Total wire-length (number of unit edges).
+    [[nodiscard]] int wirelength() const { return static_cast<int>(wire_.size()); }
+
+    /// True if the wire plus pins form one connected component covering
+    /// every pin. (Single-pin topologies with no wire are connected.)
+    [[nodiscard]] bool connected() const;
+
+    /// True if connected and the wire graph is acyclic.
+    [[nodiscard]] bool isTree() const;
+
+    /// Number of bend points: lattice points where horizontal and vertical
+    /// wire meet.
+    [[nodiscard]] int bendCount() const;
+
+    /// Lattice points where the route changes layer on uni-directional
+    /// metal: every point with both horizontal and vertical incident wire.
+    /// (Pin access stacks are counted separately by the consumers.)
+    [[nodiscard]] std::vector<geom::Point> viaPoints() const;
+
+    /// Shortest wire distance from the driver to each pin (index-aligned
+    /// with pins()). Unreachable pins get -1.
+    [[nodiscard]] std::vector<int> sourceToSinkDistances() const;
+
+    /// Extract feature nodes and maximal RC segments.
+    [[nodiscard]] TopoStructure structure() const;
+
+    /// Remap every wire point and pin coordinate-wise: x -> xMap(x),
+    /// y -> yMap(y). Used for equivalent-topology generation; maps must be
+    /// defined for every coordinate present. Straight segments stay
+    /// straight because equal coordinates stay equal.
+    [[nodiscard]] Topology remap(
+        const std::unordered_map<int, int>& xMap,
+        const std::unordered_map<int, int>& yMap) const;
+
+    /// Rigid translation by (dx, dy).
+    [[nodiscard]] Topology translate(int dx, int dy) const;
+
+    /// Order-independent hash of the wire shape (for deduping candidates).
+    [[nodiscard]] std::uint64_t wireHash() const;
+
+    friend bool operator==(const Topology& a, const Topology& b) {
+        return a.pins_ == b.pins_ && a.driver_ == b.driver_ && a.wire_ == b.wire_;
+    }
+
+private:
+    /// Adjacency over lattice points implied by the unit edges.
+    [[nodiscard]] std::unordered_map<geom::Point, std::vector<geom::Point>>
+    adjacency() const;
+
+    std::vector<geom::Point> pins_;
+    int driver_ = 0;
+    std::unordered_set<UnitEdge, UnitEdgeHash> wire_;
+};
+
+}  // namespace streak::steiner

@@ -1,0 +1,133 @@
+#include "timing/elmore.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace streak::timing {
+
+namespace {
+
+using geom::Point;
+using steiner::UnitEdge;
+using steiner::UnitEdgeHash;
+
+struct Node {
+    Point pt;
+    int parent = -1;      // index into nodes; -1 at the root
+    double ownCap = 0.0;  // lumped capacitance at the point itself
+    double edgeRes = 0.0; // resistance of the wire from the parent
+    double edgeCap = 0.0; // capacitance of the wire from the parent
+    double subtreeCap = 0.0;
+    double delay = 0.0;
+    std::vector<int> children;
+};
+
+}  // namespace
+
+std::vector<double> elmoreDelays(const steiner::Topology& topo,
+                                 const ElmoreParameters& params) {
+    std::vector<double> out(topo.pins().size(), -1.0);
+
+    // Lattice adjacency of the wire graph.
+    std::unordered_map<Point, std::vector<Point>> adj;
+    for (const UnitEdge& e : topo.wire()) {
+        adj[e.at].push_back(e.other());
+        adj[e.other()].push_back(e.at);
+    }
+
+    // Lumped capacitance at lattice points: via RC at layer-change points,
+    // sink loads at pins.
+    std::unordered_map<Point, double> pointCap;
+    std::unordered_map<Point, double> pointRes;  // series via resistance
+    for (const Point p : topo.viaPoints()) {
+        pointCap[p] += params.viaCapacitance;
+        pointRes[p] += params.viaResistance;
+    }
+    for (size_t i = 0; i < topo.pins().size(); ++i) {
+        if (static_cast<int>(i) == topo.driverIndex()) continue;
+        pointCap[topo.pins()[i]] += params.sinkLoad;
+    }
+
+    // BFS tree from the driver over unit edges.
+    const Point root = topo.driverPin();
+    std::vector<Node> nodes;
+    std::unordered_map<Point, int> indexOf;
+    const auto makeNode = [&](Point p, int parent) {
+        Node n;
+        n.pt = p;
+        n.parent = parent;
+        const auto capIt = pointCap.find(p);
+        n.ownCap = capIt == pointCap.end() ? 0.0 : capIt->second;
+        indexOf.emplace(p, static_cast<int>(nodes.size()));
+        nodes.push_back(n);
+        return static_cast<int>(nodes.size()) - 1;
+    };
+    makeNode(root, -1);
+    std::deque<int> queue{0};
+    while (!queue.empty()) {
+        const int cur = queue.front();
+        queue.pop_front();
+        const auto it = adj.find(nodes[static_cast<size_t>(cur)].pt);
+        if (it == adj.end()) continue;
+        for (const Point q : it->second) {
+            if (indexOf.contains(q)) continue;
+            const int child = makeNode(q, cur);
+            Node& cn = nodes[static_cast<size_t>(child)];
+            cn.edgeRes = params.wireResistance;
+            cn.edgeCap = params.wireCapacitance;
+            // Series via resistance lumps into the edge entering the point.
+            const auto resIt = pointRes.find(q);
+            if (resIt != pointRes.end()) cn.edgeRes += resIt->second;
+            nodes[static_cast<size_t>(cur)].children.push_back(child);
+            queue.push_back(child);
+        }
+    }
+
+    // Pass 1 (leaves to root): subtree capacitance.
+    for (size_t i = nodes.size(); i-- > 0;) {
+        Node& n = nodes[i];
+        n.subtreeCap += n.ownCap + n.edgeCap / 2.0;
+        if (n.parent >= 0) {
+            nodes[static_cast<size_t>(n.parent)].subtreeCap +=
+                n.subtreeCap + n.edgeCap / 2.0;
+        }
+    }
+    // Pass 2 (root to children; BFS order == index order): delays. With
+    // the pi wire model each edge's resistance charges exactly the cap at
+    // and below its child node (the child-side half of the edge is already
+    // inside subtreeCap; the source-side half hangs before the resistor).
+    nodes[0].delay = params.driverResistance * nodes[0].subtreeCap;
+    for (size_t i = 1; i < nodes.size(); ++i) {
+        Node& n = nodes[i];
+        n.delay = nodes[static_cast<size_t>(n.parent)].delay +
+                  n.edgeRes * n.subtreeCap;
+    }
+
+    for (size_t i = 0; i < topo.pins().size(); ++i) {
+        const auto it = indexOf.find(topo.pins()[i]);
+        if (it != indexOf.end()) {
+            out[i] = nodes[static_cast<size_t>(it->second)].delay;
+        } else if (topo.pins()[i] == root) {
+            out[i] = nodes[0].delay;
+        }
+    }
+    return out;
+}
+
+double sinkSkew(const steiner::Topology& topo,
+                const ElmoreParameters& params) {
+    const std::vector<double> delays = elmoreDelays(topo, params);
+    double lo = -1.0;
+    double hi = -1.0;
+    for (size_t i = 0; i < delays.size(); ++i) {
+        if (static_cast<int>(i) == topo.driverIndex()) continue;
+        if (delays[i] < 0.0) continue;
+        if (lo < 0.0 || delays[i] < lo) lo = delays[i];
+        if (delays[i] > hi) hi = delays[i];
+    }
+    return hi < 0.0 ? 0.0 : hi - lo;
+}
+
+}  // namespace streak::timing

@@ -1,0 +1,36 @@
+// Elmore delay analysis for routed signal bits.
+//
+// The paper motivates source-to-sink distance matching by the arrival-time
+// deviation it causes at the receiving modules (Sec. II-C): this substrate
+// makes that connection measurable. Wires get per-G-Cell RC, layer-change
+// points a lumped via RC, sinks a load capacitance, and the driver an
+// output resistance; per-sink Elmore delays then quantify interbit skew
+// directly instead of through the distance proxy.
+#pragma once
+
+#include <vector>
+
+#include "steiner/topology.hpp"
+
+namespace streak::timing {
+
+struct ElmoreParameters {
+    double wireResistance = 1.0;   // per G-Cell of wire
+    double wireCapacitance = 1.0;  // per G-Cell of wire
+    double viaResistance = 2.0;    // per layer-change point
+    double viaCapacitance = 0.5;   // per layer-change point
+    double driverResistance = 10.0;
+    double sinkLoad = 2.0;  // capacitance per sink pin
+};
+
+/// Elmore delay from the driver to every pin of the topology, index
+/// aligned with topo.pins(). Unreachable pins get -1. The topology must
+/// be a tree (cycles make Elmore delays ill-defined).
+[[nodiscard]] std::vector<double> elmoreDelays(
+    const steiner::Topology& topo, const ElmoreParameters& params = {});
+
+/// Maximum pairwise delay difference ("skew") among the sinks of one bit.
+[[nodiscard]] double sinkSkew(const steiner::Topology& topo,
+                              const ElmoreParameters& params = {});
+
+}  // namespace streak::timing

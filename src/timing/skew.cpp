@@ -1,0 +1,58 @@
+#include "timing/skew.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/distance.hpp"
+
+namespace streak::timing {
+
+std::vector<GroupSkewReport> analyzeGroupSkew(const RoutingProblem& prob,
+                                              const RoutedDesign& routed,
+                                              const ElmoreParameters& params) {
+    const std::vector<std::vector<FamilyMember>> families =
+        buildSinkFamilies(prob, routed);
+
+    // Per-bit Elmore delays, computed once per routed bit.
+    std::map<int, std::vector<double>> delayCache;
+    const auto delaysOf = [&](int routedBit) -> const std::vector<double>& {
+        auto it = delayCache.find(routedBit);
+        if (it == delayCache.end()) {
+            it = delayCache
+                     .emplace(routedBit,
+                              elmoreDelays(
+                                  routed.bits[static_cast<size_t>(routedBit)]
+                                      .topo,
+                                  params))
+                     .first;
+        }
+        return it->second;
+    };
+
+    std::vector<GroupSkewReport> reports;
+    reports.reserve(families.size());
+    for (size_t g = 0; g < families.size(); ++g) {
+        GroupSkewReport rep;
+        rep.groupIndex = static_cast<int>(g);
+        std::map<int, std::pair<double, double>> range;  // fam -> (min, max)
+        for (const FamilyMember& m : families[g]) {
+            const double d =
+                delaysOf(m.routedBitIndex)[static_cast<size_t>(m.pinIndex)];
+            if (d < 0.0) continue;
+            rep.maxDelay = std::max(rep.maxDelay, d);
+            auto [it, fresh] = range.try_emplace(m.familyId, d, d);
+            if (!fresh) {
+                it->second.first = std::min(it->second.first, d);
+                it->second.second = std::max(it->second.second, d);
+            }
+        }
+        for (const auto& [fam, mm] : range) {
+            rep.maxFamilySkew =
+                std::max(rep.maxFamilySkew, mm.second - mm.first);
+        }
+        reports.push_back(rep);
+    }
+    return reports;
+}
+
+}  // namespace streak::timing

@@ -1,0 +1,30 @@
+// Interbit delay-skew analysis of a routed design: the timing view of the
+// paper's source-to-sink distance deviation (families of corresponding
+// sinks across the bits of one group, measured in Elmore delay instead of
+// wire distance).
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+#include "timing/elmore.hpp"
+
+namespace streak::timing {
+
+struct GroupSkewReport {
+    int groupIndex = 0;
+    /// Largest delay spread over any family of corresponding sinks.
+    double maxFamilySkew = 0.0;
+    /// Largest single source-to-sink delay in the group.
+    double maxDelay = 0.0;
+};
+
+/// Per-group interbit delay skew of a routed design. Families reuse the
+/// distance-analysis correspondence (pin maps within objects, weighted-SV
+/// matching across objects).
+[[nodiscard]] std::vector<GroupSkewReport> analyzeGroupSkew(
+    const RoutingProblem& prob, const RoutedDesign& routed,
+    const ElmoreParameters& params = {});
+
+}  // namespace streak::timing

@@ -1,0 +1,178 @@
+#include "track/tracks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace streak::track {
+
+namespace {
+
+/// A panel is one row of a horizontal layer or one column of a vertical
+/// layer: the set of parallel tracks a trunk can sit on.
+struct PanelKey {
+    int layer;
+    int line;  // y for horizontal layers, x for vertical ones
+
+    friend auto operator<=>(const PanelKey&, const PanelKey&) = default;
+};
+
+struct Item {
+    int routedBit;
+    int clusterKey;
+    int memberIndex;
+    geom::Segment seg;  // canonical
+    int lo, hi;         // edge range [lo, hi) along the panel
+};
+
+/// Edge range covered by a canonical segment along its panel.
+std::pair<int, int> edgeRange(const geom::Segment& seg) {
+    if (seg.horizontal()) return {seg.a.x, seg.b.x};
+    return {seg.a.y, seg.b.y};
+}
+
+}  // namespace
+
+TrackAssignment assignTracks(const RoutedDesign& routed) {
+    const grid::RoutingGrid& grid = routed.usage.grid();
+    TrackAssignment out;
+
+    // Bucket every straight trunk into its panel.
+    std::map<PanelKey, std::vector<Item>> panels;
+    for (size_t r = 0; r < routed.bits.size(); ++r) {
+        const RoutedBit& bit = routed.bits[r];
+        const steiner::TopoStructure st = bit.topo.structure();
+        for (const auto& [u, v] : st.rcs) {
+            const geom::Segment seg =
+                geom::Segment{st.nodes[static_cast<size_t>(u)].pt,
+                              st.nodes[static_cast<size_t>(v)].pt}
+                    .canonical();
+            if (seg.degenerate()) continue;
+            Item item;
+            item.routedBit = static_cast<int>(r);
+            item.clusterKey = bit.clusterKey;
+            item.memberIndex = bit.memberIndex;
+            item.seg = seg;
+            std::tie(item.lo, item.hi) = edgeRange(seg);
+            const PanelKey key = seg.horizontal()
+                                     ? PanelKey{bit.hLayer, seg.a.y}
+                                     : PanelKey{bit.vLayer, seg.a.x};
+            panels[key].push_back(item);
+        }
+    }
+
+    for (auto& [key, items] : panels) {
+        // Cluster mates in member order first, so they can take
+        // neighbouring tracks; position breaks ties deterministically.
+        std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+            return std::tie(a.clusterKey, a.memberIndex, a.lo, a.routedBit) <
+                   std::tie(b.clusterKey, b.memberIndex, b.lo, b.routedBit);
+        });
+
+        const bool horizontal = grid.layerDir(key.layer) == grid::Dir::Horizontal;
+        const auto edgeCapacity = [&](int along) {
+            return horizontal ? grid.capacity(grid.edgeId(key.layer, along, key.line))
+                              : grid.capacity(grid.edgeId(key.layer, key.line, along));
+        };
+        int maxTracks = 0;
+        for (const Item& it : items) {
+            for (int e = it.lo; e < it.hi; ++e) {
+                maxTracks = std::max(maxTracks, edgeCapacity(e));
+            }
+        }
+
+        // occupancy[t] = assigned edge ranges on track t.
+        std::vector<std::vector<std::pair<int, int>>> occupancy(
+            static_cast<size_t>(maxTracks));
+        const auto fits = [&](int t, const Item& it) {
+            if (t < 0 || t >= maxTracks) return false;
+            for (int e = it.lo; e < it.hi; ++e) {
+                if (t >= edgeCapacity(e)) return false;
+            }
+            for (const auto& [lo, hi] : occupancy[static_cast<size_t>(t)]) {
+                if (lo < it.hi && it.lo < hi) return false;
+            }
+            return true;
+        };
+
+        // Last track taken by the previous member of each cluster.
+        std::map<int, int> lastTrackOfCluster;
+        for (const Item& it : items) {
+            int chosen = -1;
+            const auto prev = lastTrackOfCluster.find(it.clusterKey);
+            if (prev != lastTrackOfCluster.end()) {
+                // Prefer the neighbouring tracks of the previous member.
+                for (const int t : {prev->second + 1, prev->second - 1,
+                                    prev->second}) {
+                    if (fits(t, it)) {
+                        chosen = t;
+                        break;
+                    }
+                }
+            }
+            if (chosen < 0) {
+                for (int t = 0; t < maxTracks; ++t) {
+                    if (fits(t, it)) {
+                        chosen = t;
+                        break;
+                    }
+                }
+            }
+            if (chosen >= 0) {
+                occupancy[static_cast<size_t>(chosen)].emplace_back(it.lo,
+                                                                    it.hi);
+                lastTrackOfCluster[it.clusterKey] = chosen;
+            } else {
+                ++out.unplaced;
+            }
+            out.wires.push_back(
+                {it.routedBit, it.seg, key.layer, chosen});
+        }
+    }
+    return out;
+}
+
+double trackOrderliness(const RoutedDesign& routed,
+                        const TrackAssignment& assignment) {
+    // Per panel, per cluster: member -> track (longest trunk wins when a
+    // bit has several trunks in one panel).
+    struct Slot {
+        int track = -1;
+        int length = -1;
+    };
+    std::map<std::tuple<int, int, int, int>, Slot> slots;  // (layer,line,cluster,member)
+    for (const AssignedWire& w : assignment.wires) {
+        if (w.track < 0) continue;
+        const RoutedBit& bit =
+            routed.bits[static_cast<size_t>(w.routedBitIndex)];
+        const int line = w.segment.horizontal() ? w.segment.a.y : w.segment.a.x;
+        Slot& s = slots[{w.layer, line, bit.clusterKey, bit.memberIndex}];
+        if (w.segment.length() > s.length) {
+            s.length = w.segment.length();
+            s.track = w.track;
+        }
+    }
+
+    // Walk consecutive members within (layer, line, cluster).
+    int pairs = 0;
+    int adjacent = 0;
+    auto it = slots.begin();
+    while (it != slots.end()) {
+        const auto& [layer, line, cluster, member] = it->first;
+        auto next = std::next(it);
+        if (next != slots.end()) {
+            const auto& [nl, nline, ncluster, nmember] = next->first;
+            if (nl == layer && nline == line && ncluster == cluster) {
+                ++pairs;
+                if (std::abs(next->second.track - it->second.track) == 1) {
+                    ++adjacent;
+                }
+            }
+        }
+        it = next;
+    }
+    return pairs == 0 ? 1.0
+                      : static_cast<double>(adjacent) / static_cast<double>(pairs);
+}
+
+}  // namespace streak::track

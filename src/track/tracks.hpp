@@ -1,0 +1,47 @@
+// Track assignment: from G-Cell routes to concrete track indices.
+//
+// The paper's regularity objective exists so that the bits of a group can
+// ultimately sit on *adjacent, ordered tracks* (Fig. 1). This substrate
+// performs that next step of the flow: every straight trunk of every
+// routed bit is assigned a track index within its layer panel such that
+// no two wires share a track over the same edge — preferring consecutive
+// tracks, in bit order, for the bits of one regularity cluster. The
+// orderliness metric quantifies how much of that preference the router's
+// topology choices made achievable.
+#pragma once
+
+#include <vector>
+
+#include "core/solution.hpp"
+#include "geom/segment.hpp"
+
+namespace streak::track {
+
+struct AssignedWire {
+    int routedBitIndex = 0;  // into RoutedDesign::bits
+    geom::Segment segment;   // straight trunk (canonical form)
+    int layer = 0;
+    int track = -1;  // -1 = could not be placed within capacity
+};
+
+struct TrackAssignment {
+    std::vector<AssignedWire> wires;
+    /// Trunks that did not fit any single track over their full extent.
+    /// Edge capacity bounds wires *per edge*; a full-length trunk needs
+    /// one free track across every covered edge, so a small residue can
+    /// remain that a detailed router would resolve with doglegs.
+    int unplaced = 0;
+};
+
+/// Assign tracks to every straight trunk of the routed design. Bits are
+/// processed panel by panel in (clusterKey, memberIndex) order so cluster
+/// mates compete for neighbouring tracks first.
+[[nodiscard]] TrackAssignment assignTracks(const RoutedDesign& routed);
+
+/// Orderliness in [0, 1]: over all pairs of consecutive cluster members
+/// whose trunks share a panel, the fraction assigned to adjacent tracks
+/// (|track difference| == 1). Returns 1 when no such pair exists.
+[[nodiscard]] double trackOrderliness(const RoutedDesign& routed,
+                                      const TrackAssignment& assignment);
+
+}  // namespace streak::track

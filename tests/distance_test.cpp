@@ -1,0 +1,107 @@
+#include "core/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pd_solver.hpp"
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+using geom::Point;
+
+/// Build a routed design by running the PD solver on a design.
+struct Routed {
+    Design design;
+    RoutingProblem prob;
+    RoutedDesign routed;
+
+    explicit Routed(Design d, StreakOptions opts = {})
+        : design(std::move(d)),
+          prob(buildProblem(design, opts)),
+          routed(materialize(prob, solvePrimalDual(prob).solution)) {}
+};
+
+TEST(AnalyzeDistances, UniformBusHasNoViolations) {
+    Routed r(testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 5, 0, 1)}));
+    const auto reports = analyzeDistances(r.prob, r.routed, 0.5);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].violatingFamilies, 0);
+    EXPECT_EQ(countViolatingGroups(reports), 0);
+}
+
+TEST(AnalyzeDistances, ReportsPerGroup) {
+    Routed r(testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {10, 4}}, 3, 0, 1, "a"),
+         testutil::makeBusGroup({{2, 20}, {10, 20}}, 3, 0, 1, "b")}));
+    const auto reports = analyzeDistances(r.prob, r.routed, 0.5);
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].groupIndex, 0);
+    EXPECT_EQ(reports[1].groupIndex, 1);
+    EXPECT_GT(reports[0].maxInitialDistance, 0);
+}
+
+TEST(AnalyzeDistances, DetectsShortPinFamily) {
+    // Fig. 4(b): one bit's sink is much closer than its siblings'.
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {2, 0}}));    // short
+    g.bits.push_back(testutil::makeBit({{0, 1}, {20, 1}}));   // long
+    g.bits.push_back(testutil::makeBit({{0, 2}, {20, 2}}));   // long
+    Routed r(testutil::makeDesign({g}));
+    const auto reports = analyzeDistances(r.prob, r.routed, 0.5);
+    ASSERT_EQ(reports.size(), 1u);
+    // Deviation 18 > threshold (0.5 * 20 = 10).
+    EXPECT_EQ(reports[0].violatingFamilies, 1);
+    EXPECT_GE(reports[0].maxDeviation, 18);
+    ASSERT_FALSE(reports[0].violations.empty());
+    EXPECT_EQ(reports[0].violations[0].familyMax, 20);
+}
+
+TEST(AnalyzeDistances, ThresholdFractionScales) {
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {8, 0}}));
+    g.bits.push_back(testutil::makeBit({{0, 1}, {14, 1}}));
+    Routed r(testutil::makeDesign({g}));
+    // Deviation 6; with fraction 0.5 threshold = 7 -> ok.
+    EXPECT_EQ(countViolatingGroups(analyzeDistances(r.prob, r.routed, 0.5)), 0);
+    // With fraction 0.2 threshold = 2 -> violation.
+    EXPECT_EQ(countViolatingGroups(analyzeDistances(r.prob, r.routed, 0.2)), 1);
+}
+
+TEST(AnalyzeDistances, FixedThresholdsOverride) {
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {8, 0}}));
+    g.bits.push_back(testutil::makeBit({{0, 1}, {14, 1}}));
+    Routed r(testutil::makeDesign({g}));
+    std::vector<int> thresholds{2};
+    const auto reports =
+        analyzeDistances(r.prob, r.routed, 0.5, &thresholds);
+    EXPECT_EQ(reports[0].threshold, 2);
+    EXPECT_EQ(countViolatingGroups(reports), 1);
+}
+
+TEST(AnalyzeDistances, CrossObjectFamiliesMatched) {
+    // Two styles (objects) whose sinks correspond through SV matching.
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {10, 0}}));          // style A
+    g.bits.push_back(testutil::makeBit({{0, 1}, {10, 1}}));          // style A
+    g.bits.push_back(testutil::makeBit({{0, 2}, {10, 6}}));          // style B (QI)
+    Routed r(testutil::makeDesign({g}));
+    const auto reports = analyzeDistances(r.prob, r.routed, 0.5);
+    // Style B's sink is farther (10+4) but deviation 4 < threshold 7.
+    EXPECT_EQ(countViolatingGroups(reports), 0);
+}
+
+TEST(AnalyzeDistances, EmptyRoutedDesign) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {10, 4}}, 3, 0, 1)});
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutedDesign empty(d.grid);
+    const auto reports = analyzeDistances(prob, empty, 0.5);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].violatingFamilies, 0);
+}
+
+}  // namespace
+}  // namespace streak

@@ -1,0 +1,76 @@
+#include "steiner/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "steiner/rsmt.hpp"
+
+namespace streak::steiner {
+namespace {
+
+using geom::Point;
+
+TEST(ExactRsmt, TrivialCases) {
+    EXPECT_EQ(exactRsmtLength({}), 0);
+    EXPECT_EQ(exactRsmtLength({{3, 3}}), 0);
+    EXPECT_EQ(exactRsmtLength({{0, 0}, {4, 5}}), 9);
+}
+
+TEST(ExactRsmt, CrossNeedsCenterSteinerPoint) {
+    // Plus-sign terminals: RSMT = 8 with the center point, MST = 12.
+    const std::vector<Point> pins{{0, 2}, {4, 2}, {2, 0}, {2, 4}};
+    EXPECT_EQ(mstLength(pins), 12);
+    EXPECT_EQ(exactRsmtLength(pins), 8);
+}
+
+TEST(ExactRsmt, UnitSquare) {
+    // RSMT of the unit square = 3 (no Steiner point helps).
+    EXPECT_EQ(exactRsmtLength({{0, 0}, {1, 0}, {0, 1}, {1, 1}}), 3);
+}
+
+TEST(ExactRsmt, KnownFivePinInstance) {
+    // Staircase: collinear-ish terminals where one trunk serves all.
+    const std::vector<Point> pins{{0, 0}, {2, 0}, {4, 0}, {6, 0}, {3, 3}};
+    EXPECT_EQ(exactRsmtLength(pins), 9);  // trunk 6 + branch 3
+}
+
+class ExactOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactOracleTest, HeuristicWithinHwangBoundAndNeverBelowExact) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31u + 7u);
+    std::uniform_int_distribution<int> coord(0, 12);
+    std::uniform_int_distribution<int> count(3, 5);
+    std::vector<Point> pins;
+    const int n = count(rng);
+    for (int i = 0; i < n; ++i) pins.push_back({coord(rng), coord(rng)});
+
+    const long exact = exactRsmtLength(pins);
+    const auto topos = enumerateTopologies(pins, 0);
+    ASSERT_FALSE(topos.empty());
+    // The heuristic tree is a real Steiner tree: never shorter than the
+    // exact optimum, never longer than the RMST (its starting point).
+    EXPECT_GE(topos.front().wirelength(), exact);
+    EXPECT_LE(topos.front().wirelength(), mstLength(pins));
+    // Exact obeys the Hwang bound versus the MST.
+    EXPECT_GE(3L * exact, 2L * mstLength(pins));
+}
+
+TEST_P(ExactOracleTest, HeuristicUsuallyTight) {
+    // On small instances BI1S + rectification should match the exact
+    // optimum most of the time; assert a loose per-instance bound (10%).
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 101u + 13u);
+    std::uniform_int_distribution<int> coord(0, 10);
+    std::vector<Point> pins;
+    for (int i = 0; i < 4; ++i) pins.push_back({coord(rng), coord(rng)});
+    const long exact = exactRsmtLength(pins);
+    const auto topos = enumerateTopologies(pins, 0);
+    ASSERT_FALSE(topos.empty());
+    EXPECT_LE(topos.front().wirelength(), exact + std::max(2L, exact / 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactOracleTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace streak::steiner

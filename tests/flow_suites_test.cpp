@@ -1,0 +1,78 @@
+// Parameterized end-to-end sweep: the full primal-dual flow with post
+// optimization on every synthetic suite, asserting the invariants the
+// paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+
+namespace streak {
+namespace {
+
+class SuiteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteSweep, PdFlowInvariants) {
+    const Design d = gen::makeSynth(GetParam());
+    StreakOptions opts;
+    opts.solver = SolverKind::PrimalDual;
+    opts.postOptimize = true;
+    const StreakResult r = runStreak(d, opts);
+
+    // Capacity legality is unconditional in Streak.
+    EXPECT_EQ(r.metrics.totalOverflow, 0);
+    EXPECT_EQ(r.metrics.overflowedEdges, 0);
+
+    // The evaluation's headline properties.
+    EXPECT_GE(r.metrics.routability, 0.9);
+    EXPECT_GE(r.metrics.avgRegularity, 0.5);
+    EXPECT_LE(r.metrics.avgRegularity, 1.0);
+    EXPECT_LE(r.distanceViolationsAfter, r.distanceViolationsBefore);
+
+    // Accounting: every bit is routed or listed unrouted, exactly once.
+    EXPECT_EQ(r.routed.routedBits() +
+                  static_cast<int>(r.routed.unroutedMembers.size()),
+              d.numNets());
+
+    // Every routed topology is a connected tree over its bit's pins with
+    // trunk layers of the right direction.
+    for (const RoutedBit& b : r.routed.bits) {
+        EXPECT_TRUE(b.topo.connected());
+        EXPECT_EQ(d.grid.layerDir(b.hLayer), grid::Dir::Horizontal);
+        EXPECT_EQ(d.grid.layerDir(b.vLayer), grid::Dir::Vertical);
+        for (const int dst : b.topo.sourceToSinkDistances()) {
+            EXPECT_GE(dst, 0);
+        }
+    }
+
+    // Objective is bounded below by the problem's certified bound.
+    EXPECT_GE(r.solverSolution.objective, r.problem.costLowerBound() - 1e-9);
+}
+
+TEST_P(SuiteSweep, BitsInOneObjectShareTopologyShape) {
+    const Design d = gen::makeSynth(GetParam());
+    StreakOptions opts;
+    const StreakResult r = runStreak(d, opts);
+    // Solver-routed bits of one object carry equivalent topologies: same
+    // wire-length spread only from stretching, but identical bend counts.
+    std::map<int, std::vector<const RoutedBit*>> byObject;
+    for (const RoutedBit& b : r.routed.bits) {
+        if (b.clusterKey < r.problem.numObjects()) {
+            byObject[b.objectIndex].push_back(&b);
+        }
+    }
+    for (const auto& [obj, bits] : byObject) {
+        for (size_t k = 1; k < bits.size(); ++k) {
+            EXPECT_EQ(bits[k]->topo.bendCount(), bits[0]->topo.bendCount())
+                << "object " << obj;
+            EXPECT_EQ(bits[k]->hLayer, bits[0]->hLayer);
+            EXPECT_EQ(bits[k]->vLayer, bits[0]->vLayer);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, SuiteSweep, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace streak

@@ -1,0 +1,127 @@
+// Randomized end-to-end property sweep: random suite specs through the
+// whole flow, asserting every invariant that must hold regardless of the
+// design (capacity legality, accounting, bounds, determinism, IO round
+// trips, track assignment legality).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/validate.hpp"
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+#include "io/design_io.hpp"
+#include "track/tracks.hpp"
+
+namespace streak {
+namespace {
+
+gen::SuiteSpec randomSpec(unsigned seed) {
+    std::mt19937 rng(seed);
+    const auto pick = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    gen::SuiteSpec s;
+    s.name = "fuzz" + std::to_string(seed);
+    s.gridWidth = pick(24, 64);
+    s.gridHeight = pick(24, 64);
+    s.numLayers = pick(2, 4) * 2;  // even stacks
+    s.capacity = pick(4, 14);
+    s.numGroups = pick(3, 14);
+    s.minGroupWidth = pick(2, 4);
+    s.maxGroupWidth = s.minGroupWidth + pick(0, 10);
+    s.maxPins = pick(2, 9);
+    s.multipinFraction = pick(0, 100) / 100.0;
+    s.twoStyleFraction = pick(0, 80) / 100.0;
+    s.stretchFraction = pick(0, 30) / 100.0;
+    s.numBlockages = pick(0, 10);
+    s.viaCapacity = pick(0, 3) == 0 ? pick(4, 10) : -1;
+    s.seed = seed * 7919u + 3u;
+    return s;
+}
+
+class FlowFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FlowFuzz, GeneratedDesignIsValid) {
+    const Design d = gen::generate(randomSpec(GetParam()));
+    EXPECT_TRUE(isRoutable(validateDesign(d)));
+}
+
+TEST_P(FlowFuzz, FullFlowInvariants) {
+    const Design d = gen::generate(randomSpec(GetParam()));
+    StreakOptions opts;
+    opts.postOptimize = true;
+    const StreakResult r = runStreak(d, opts);
+
+    EXPECT_EQ(r.metrics.totalOverflow, 0);
+    EXPECT_EQ(r.metrics.totalViaOverflow, 0);
+    EXPECT_EQ(r.routed.routedBits() +
+                  static_cast<int>(r.routed.unroutedMembers.size()),
+              d.numNets());
+    EXPECT_GE(r.solverSolution.objective,
+              r.problem.costLowerBound() - 1e-9);
+    EXPECT_LE(r.distanceViolationsAfter, r.distanceViolationsBefore);
+    EXPECT_GE(r.metrics.avgRegularity, 0.0);
+    EXPECT_LE(r.metrics.avgRegularity, 1.0);
+    for (const RoutedBit& b : r.routed.bits) {
+        EXPECT_TRUE(b.topo.connected());
+    }
+}
+
+TEST_P(FlowFuzz, FlowIsDeterministic) {
+    const Design d = gen::generate(randomSpec(GetParam()));
+    StreakOptions opts;
+    opts.postOptimize = true;
+    const StreakResult a = runStreak(d, opts);
+    const StreakResult b = runStreak(d, opts);
+    EXPECT_EQ(a.solverSolution.chosen, b.solverSolution.chosen);
+    EXPECT_EQ(a.metrics.wirelength, b.metrics.wirelength);
+    EXPECT_EQ(a.metrics.routedBits, b.metrics.routedBits);
+}
+
+TEST_P(FlowFuzz, DesignFileRoundTrip) {
+    const Design d = gen::generate(randomSpec(GetParam()));
+    std::stringstream ss;
+    io::writeDesign(d, ss);
+    const Design back = io::readDesign(ss);
+    ASSERT_EQ(back.numNets(), d.numNets());
+    // Routing the reloaded design gives identical results.
+    StreakOptions opts;
+    const StreakResult r1 = runStreak(d, opts);
+    const StreakResult r2 = runStreak(back, opts);
+    EXPECT_EQ(r1.metrics.wirelength, r2.metrics.wirelength);
+    EXPECT_EQ(r1.metrics.routedBits, r2.metrics.routedBits);
+}
+
+TEST_P(FlowFuzz, TrackAssignmentLegal) {
+    const Design d = gen::generate(randomSpec(GetParam()));
+    const StreakResult r = runStreak(d, StreakOptions{});
+    const track::TrackAssignment ta = track::assignTracks(r.routed);
+    // Placed trunks never exceed the covered edges' capacities.
+    for (const track::AssignedWire& w : ta.wires) {
+        if (w.track < 0) continue;
+        EXPECT_GE(w.track, 0);
+        const bool horiz = w.segment.horizontal();
+        if (horiz) {
+            for (int x = w.segment.a.x; x < w.segment.b.x; ++x) {
+                EXPECT_LT(w.track,
+                          d.grid.capacity(d.grid.edgeId(w.layer, x,
+                                                        w.segment.a.y)));
+            }
+        } else {
+            for (int y = w.segment.a.y; y < w.segment.b.y; ++y) {
+                EXPECT_LT(w.track,
+                          d.grid.capacity(d.grid.edgeId(w.layer,
+                                                        w.segment.a.x, y)));
+            }
+        }
+    }
+    // A capacity-legal route leaves at most a tiny dogleg residue.
+    EXPECT_LE(ta.unplaced,
+              2 + static_cast<int>(ta.wires.size()) / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowFuzz, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace streak

@@ -1,0 +1,124 @@
+#include "gen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/identify.hpp"
+
+namespace streak::gen {
+namespace {
+
+TEST(Generator, DeterministicInSeed) {
+    const SuiteSpec spec = synthSpec(1);
+    const Design a = generate(spec);
+    const Design b = generate(spec);
+    ASSERT_EQ(a.numGroups(), b.numGroups());
+    ASSERT_EQ(a.numNets(), b.numNets());
+    for (int g = 0; g < a.numGroups(); ++g) {
+        for (int k = 0; k < a.groups[static_cast<size_t>(g)].width(); ++k) {
+            EXPECT_EQ(a.groups[static_cast<size_t>(g)].bits[static_cast<size_t>(k)].pins,
+                      b.groups[static_cast<size_t>(g)].bits[static_cast<size_t>(k)].pins);
+        }
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+    SuiteSpec spec = synthSpec(1);
+    const Design a = generate(spec);
+    spec.seed += 1;
+    const Design b = generate(spec);
+    bool anyDifferent = false;
+    for (int g = 0; g < std::min(a.numGroups(), b.numGroups()); ++g) {
+        if (a.groups[static_cast<size_t>(g)].bits[0].pins !=
+            b.groups[static_cast<size_t>(g)].bits[0].pins) {
+            anyDifferent = true;
+        }
+    }
+    EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Generator, PinsInsideGrid) {
+    for (int i = 1; i <= 7; ++i) {
+        const Design d = makeSynth(i);
+        for (const SignalGroup& g : d.groups) {
+            for (const Bit& b : g.bits) {
+                for (const geom::Point p : b.pins) {
+                    EXPECT_TRUE(d.grid.contains(p))
+                        << d.name << " pin " << p;
+                }
+                EXPECT_GE(b.numPins(), 2);
+            }
+        }
+    }
+}
+
+TEST(Generator, TwoPinSuitesAreTwoPin) {
+    for (int i = 1; i <= 4; ++i) {
+        EXPECT_EQ(makeSynth(i).maxPins(), 2) << "synth" << i;
+    }
+}
+
+TEST(Generator, MultipinSuitesExceedTwoPins) {
+    for (int i = 5; i <= 7; ++i) {
+        const Design d = makeSynth(i);
+        EXPECT_GT(d.maxPins(), 2) << "synth" << i;
+        EXPECT_LE(d.maxPins(), synthSpec(i).maxPins);
+    }
+}
+
+TEST(Generator, GroupWidthsWithinSpec) {
+    for (int i = 1; i <= 7; ++i) {
+        const SuiteSpec spec = synthSpec(i);
+        const Design d = generate(spec);
+        EXPECT_EQ(d.numGroups(), spec.numGroups);
+        for (const SignalGroup& g : d.groups) {
+            EXPECT_GE(g.width(), spec.minGroupWidth);
+            EXPECT_LE(g.width(), spec.maxGroupWidth);
+        }
+    }
+}
+
+TEST(Generator, GroupsSplitIntoFewObjects) {
+    // Style-based construction: identification should find 1-2 objects
+    // for most groups, never one object per bit.
+    const Design d = makeSynth(5);
+    const auto objects = identifyObjects(d);
+    EXPECT_LT(static_cast<int>(objects.size()), d.numNets() / 2);
+    EXPECT_GE(static_cast<int>(objects.size()), d.numGroups());
+}
+
+TEST(Generator, BlockagesDentCapacity) {
+    const SuiteSpec spec = synthSpec(3);
+    const Design d = generate(spec);
+    int dented = 0;
+    for (int e = 0; e < d.grid.numEdges(); ++e) {
+        if (d.grid.capacity(e) < spec.capacity) ++dented;
+    }
+    EXPECT_GT(dented, 0);
+}
+
+TEST(Generator, ScalabilitySeriesGrows) {
+    const auto specs = scalabilitySpecs(false, 4);
+    ASSERT_EQ(specs.size(), 4u);
+    long prevPins = 0;
+    for (const SuiteSpec& s : specs) {
+        const Design d = generate(s);
+        EXPECT_GT(d.totalPins(), prevPins);
+        prevPins = d.totalPins();
+    }
+}
+
+TEST(Generator, MultipinSeriesEnrichesLastStep) {
+    const auto specs = scalabilitySpecs(true, 3);
+    EXPECT_GT(specs.back().maxPins, synthSpec(5).maxPins);
+}
+
+TEST(Generator, RejectsBadSpecs) {
+    EXPECT_THROW(synthSpec(0), std::invalid_argument);
+    EXPECT_THROW(synthSpec(8), std::invalid_argument);
+    SuiteSpec bad;
+    bad.maxPins = 1;
+    EXPECT_THROW(generate(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streak::gen

@@ -1,0 +1,87 @@
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace streak::geom {
+namespace {
+
+TEST(Point, ManhattanDistance) {
+    EXPECT_EQ(manhattan(Point{0, 0}, Point{0, 0}), 0);
+    EXPECT_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7);
+    EXPECT_EQ(manhattan(Point{-2, 5}, Point{1, -1}), 9);
+}
+
+TEST(Point, ManhattanIsSymmetric) {
+    const Point a{3, -7};
+    const Point b{-1, 2};
+    EXPECT_EQ(manhattan(a, b), manhattan(b, a));
+}
+
+TEST(Point3, CountsLayerCrossings) {
+    EXPECT_EQ(manhattan(Point3{0, 0, 0}, Point3{1, 1, 3}), 5);
+}
+
+TEST(Point, HashDistinguishesCoordinates) {
+    std::unordered_set<Point> set{{0, 0}, {0, 1}, {1, 0}};
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_TRUE(set.contains(Point{1, 0}));
+    EXPECT_FALSE(set.contains(Point{1, 1}));
+}
+
+TEST(Rect, ContainsAndOverlaps) {
+    const Rect r{{0, 0}, {4, 3}};
+    EXPECT_TRUE(r.contains({0, 0}));
+    EXPECT_TRUE(r.contains({4, 3}));
+    EXPECT_FALSE(r.contains({5, 3}));
+    EXPECT_TRUE(r.overlaps(Rect{{4, 3}, {6, 6}}));  // closed rects touch
+    EXPECT_FALSE(r.overlaps(Rect{{5, 4}, {6, 6}}));
+}
+
+TEST(Rect, ExpandGrows) {
+    Rect r{{2, 2}, {2, 2}};
+    r.expand({0, 5});
+    EXPECT_EQ(r.lo, (Point{0, 2}));
+    EXPECT_EQ(r.hi, (Point{2, 5}));
+}
+
+TEST(Rect, BoundingNormalizesCorners) {
+    const Rect r = Rect::bounding({5, 1}, {2, 4});
+    EXPECT_EQ(r.lo, (Point{2, 1}));
+    EXPECT_EQ(r.hi, (Point{5, 4}));
+}
+
+TEST(Segment, OrientationPredicates) {
+    EXPECT_TRUE((Segment{{0, 0}, {5, 0}}.horizontal()));
+    EXPECT_TRUE((Segment{{2, 1}, {2, 9}}.vertical()));
+    EXPECT_TRUE((Segment{{1, 1}, {1, 1}}.degenerate()));
+    EXPECT_FALSE((Segment{{0, 0}, {1, 1}}.rectilinear()));
+}
+
+TEST(Segment, CoversPointsOnRun) {
+    const Segment s{{4, 2}, {0, 2}};
+    EXPECT_TRUE(s.covers({0, 2}));
+    EXPECT_TRUE(s.covers({2, 2}));
+    EXPECT_TRUE(s.covers({4, 2}));
+    EXPECT_FALSE(s.covers({5, 2}));
+    EXPECT_FALSE(s.covers({2, 3}));
+}
+
+TEST(Segment, OverlapParallelSegments) {
+    const auto o = overlap(Segment{{0, 0}, {5, 0}}, Segment{{3, 0}, {9, 0}});
+    ASSERT_TRUE(o.has_value());
+    EXPECT_EQ(o->a, (Point{3, 0}));
+    EXPECT_EQ(o->b, (Point{5, 0}));
+}
+
+TEST(Segment, NoOverlapWhenMerelyTouching) {
+    EXPECT_FALSE(overlap(Segment{{0, 0}, {3, 0}}, Segment{{3, 0}, {6, 0}}));
+    EXPECT_FALSE(overlap(Segment{{0, 0}, {3, 0}}, Segment{{0, 1}, {3, 1}}));
+    EXPECT_FALSE(overlap(Segment{{0, 0}, {3, 0}}, Segment{{1, 0}, {1, 5}}));
+}
+
+}  // namespace
+}  // namespace streak::geom

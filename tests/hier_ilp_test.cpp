@@ -1,0 +1,101 @@
+#include "core/hier_ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pd_solver.hpp"
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+Design twoGroupDesign() {
+    return testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {12, 4}}, 4, 0, 1, "a"),
+         testutil::makeBusGroup({{4, 20}, {14, 20}, {14, 26}}, 3, 0, 1, "b")},
+        32, 32, 4, 10);
+}
+
+TEST(FilterProblem, KeepsSelectedCandidatesInOrder) {
+    const Design d = twoGroupDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    std::vector<std::vector<int>> keep(prob.candidates.size());
+    for (size_t i = 0; i < prob.candidates.size(); ++i) {
+        keep[i] = {0};
+        if (prob.candidates[i].size() > 2) keep[i].push_back(2);
+    }
+    const FilteredProblem f = filterProblem(prob, keep);
+    for (size_t i = 0; i < f.prob.candidates.size(); ++i) {
+        ASSERT_EQ(f.prob.candidates[i].size(), keep[i].size());
+        for (size_t j = 0; j < keep[i].size(); ++j) {
+            EXPECT_EQ(f.prob.candidates[i][j].cost,
+                      prob.candidates[i][static_cast<size_t>(keep[i][j])].cost);
+            EXPECT_EQ(f.toOriginal[i][j], keep[i][j]);
+        }
+    }
+}
+
+TEST(FilterProblem, PairBlocksSliced) {
+    Design d = twoGroupDesign();
+    // Force two objects in group 0 so a pair block exists.
+    d.groups[0].bits[2].pins[1] = {12, 4 + 2 + 6};
+    d.groups[0].bits[3].pins[1] = {12, 4 + 3 + 6};
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    ASSERT_FALSE(prob.pairBlocks.empty());
+    std::vector<std::vector<int>> keep(prob.candidates.size());
+    for (size_t i = 0; i < prob.candidates.size(); ++i) keep[i] = {0};
+    const FilteredProblem f = filterProblem(prob, keep);
+    ASSERT_EQ(f.prob.pairBlocks.size(), prob.pairBlocks.size());
+    for (size_t b = 0; b < f.prob.pairBlocks.size(); ++b) {
+        ASSERT_EQ(f.prob.pairBlocks[b].cost.size(), 1u);
+        ASSERT_EQ(f.prob.pairBlocks[b].cost[0].size(), 1u);
+        EXPECT_EQ(f.prob.pairBlocks[b].cost[0][0],
+                  prob.pairBlocks[b].cost[0][0]);
+    }
+}
+
+TEST(HierIlp, MatchesFlatIlpOnEasyDesign) {
+    const Design d = twoGroupDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    const IlpRouteResult flat = solveIlpRouting(prob, 30.0);
+    const IlpRouteResult hier = solveIlpHierarchical(prob, 30.0);
+    ASSERT_FALSE(flat.hitTimeLimit);
+    ASSERT_FALSE(hier.hitTimeLimit);
+    // The hierarchy restricts stage 2 to stage 1's backbone, so it can be
+    // slightly worse — but never better than the exact optimum and never
+    // worse than leaving objects unrouted.
+    EXPECT_GE(hier.solution.objective, flat.solution.objective - 1e-6);
+    for (const int c : hier.solution.chosen) EXPECT_GE(c, 0);
+}
+
+TEST(HierIlp, NeverWorseThanWarmStart) {
+    const Design d = gen::makeSynth(1);
+    StreakOptions opts;
+    const RoutingProblem prob = buildProblem(d, opts);
+    const PdResult pd = solvePrimalDual(prob);
+    const IlpRouteResult hier =
+        solveIlpHierarchical(prob, 10.0, &pd.solution);
+    EXPECT_LE(hier.solution.objective, pd.solution.objective + 1e-6);
+}
+
+TEST(HierIlp, SolutionRespectsCapacities) {
+    const Design d = gen::makeSynth(1);
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    const IlpRouteResult hier = solveIlpHierarchical(prob, 10.0);
+    const RoutedDesign rd = materialize(prob, hier.solution);
+    EXPECT_EQ(rd.usage.totalOverflow(), 0);
+}
+
+TEST(HierIlp, FlowIntegration) {
+    const Design d = gen::makeSynth(1);
+    StreakOptions opts;
+    opts.solver = SolverKind::IlpHierarchical;
+    opts.ilpTimeLimitSeconds = 10.0;
+    const StreakResult r = runStreak(d, opts);
+    EXPECT_GT(r.metrics.routability, 0.9);
+    EXPECT_EQ(r.metrics.totalOverflow, 0);
+}
+
+}  // namespace
+}  // namespace streak

@@ -1,0 +1,129 @@
+#include "core/identify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+using geom::Point;
+
+TEST(IdentifyObjects, UniformBusIsOneObject) {
+    const SignalGroup g =
+        testutil::makeBusGroup({{0, 10}, {8, 10}}, 6, 0, 1);
+    const auto objects = identifyObjects(g, 0);
+    ASSERT_EQ(objects.size(), 1u);
+    EXPECT_EQ(objects[0].width(), 6);
+    EXPECT_EQ(objects[0].groupIndex, 0);
+}
+
+TEST(IdentifyObjects, TwoStylesSplit) {
+    // Fig. 1 / Fig. 3(a): half the bits route +x, half route +x then +y.
+    SignalGroup g;
+    g.name = "mixed";
+    for (int k = 0; k < 3; ++k) {
+        g.bits.push_back(testutil::makeBit({{0, k}, {8, k}}));
+    }
+    for (int k = 3; k < 6; ++k) {
+        g.bits.push_back(testutil::makeBit({{0, k}, {8, k + 5}}));
+    }
+    const auto objects = identifyObjects(g, 0);
+    ASSERT_EQ(objects.size(), 2u);
+    EXPECT_EQ(objects[0].width() + objects[1].width(), 6);
+    // Bits must not be shared between objects.
+    std::set<int> seen;
+    for (const auto& obj : objects) {
+        for (const int b : obj.bitIndices) {
+            EXPECT_TRUE(seen.insert(b).second);
+        }
+    }
+}
+
+TEST(IdentifyObjects, DriverSvSeparatesEarly) {
+    // Same sink multiset shape but opposite directions -> different
+    // driver SVs -> different objects.
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{5, 5}, {9, 5}}));   // sink +x
+    g.bits.push_back(testutil::makeBit({{5, 6}, {1, 6}}));   // sink -x
+    const auto objects = identifyObjects(g, 0);
+    EXPECT_EQ(objects.size(), 2u);
+}
+
+TEST(IdentifyObjects, StretchedBitsStillIsomorphic) {
+    // Same directional structure, different sink distances: one object.
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {6, 0}, {6, 4}}));
+    g.bits.push_back(testutil::makeBit({{0, 1}, {9, 1}, {9, 7}}));
+    const auto objects = identifyObjects(g, 0);
+    EXPECT_EQ(objects.size(), 1u);
+}
+
+TEST(IdentifyObjects, DifferentPinCountsSplit) {
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {6, 0}}));
+    g.bits.push_back(testutil::makeBit({{0, 1}, {6, 1}, {6, 5}}));
+    const auto objects = identifyObjects(g, 0);
+    EXPECT_EQ(objects.size(), 2u);
+}
+
+TEST(IdentifyObjects, PinMapsAreConsistentBijections) {
+    const SignalGroup g = testutil::makeBusGroup(
+        {{0, 0}, {7, 0}, {7, 6}, {3, 6}}, 5, 0, 1);
+    const auto objects = identifyObjects(g, 0);
+    ASSERT_EQ(objects.size(), 1u);
+    const RoutingObject& obj = objects[0];
+    ASSERT_EQ(obj.pinMaps.size(), 5u);
+    const int repBit =
+        obj.bitIndices[static_cast<size_t>(obj.representativeBit)];
+    const Bit& rep = g.bits[static_cast<size_t>(repBit)];
+    for (size_t k = 0; k < obj.pinMaps.size(); ++k) {
+        const Bit& bit =
+            g.bits[static_cast<size_t>(obj.bitIndices[k])];
+        const auto& map = obj.pinMaps[k];
+        ASSERT_EQ(map.size(), bit.pins.size());
+        std::set<int> targets(map.begin(), map.end());
+        EXPECT_EQ(targets.size(), map.size());  // bijection
+        // Drivers map to drivers.
+        EXPECT_EQ(map[static_cast<size_t>(bit.driver)], rep.driver);
+        // Mapped pins share SVs.
+        for (int i = 0; i < bit.numPins(); ++i) {
+            EXPECT_EQ(pinSimilarity(bit, i),
+                      pinSimilarity(rep, map[static_cast<size_t>(i)]));
+        }
+    }
+}
+
+TEST(IdentifyObjects, RepresentativeIsMedianDriver) {
+    const SignalGroup g = testutil::makeBusGroup({{0, 0}, {5, 0}}, 7, 0, 1);
+    const auto objects = identifyObjects(g, 0);
+    ASSERT_EQ(objects.size(), 1u);
+    const int repBit = objects[0].bitIndices[static_cast<size_t>(
+        objects[0].representativeBit)];
+    // Drivers at y = 0..6; the median driver sits at y = 3.
+    EXPECT_EQ(g.bits[static_cast<size_t>(repBit)].driverPin().y, 3);
+}
+
+TEST(IdentifyObjects, DesignWideConcatenation) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{0, 0}, {5, 0}}, 3, 0, 1, "a"),
+         testutil::makeBusGroup({{10, 10}, {10, 18}}, 4, 1, 0, "b")});
+    const auto objects = identifyObjects(d);
+    ASSERT_EQ(objects.size(), 2u);
+    EXPECT_EQ(objects[0].groupIndex, 0);
+    EXPECT_EQ(objects[1].groupIndex, 1);
+}
+
+TEST(IdentifyObjects, SingleBitGroup) {
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {4, 4}}));
+    const auto objects = identifyObjects(g, 3);
+    ASSERT_EQ(objects.size(), 1u);
+    EXPECT_EQ(objects[0].width(), 1);
+    EXPECT_EQ(objects[0].groupIndex, 3);
+}
+
+}  // namespace
+}  // namespace streak

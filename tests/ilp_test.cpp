@@ -1,0 +1,147 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ilp/lp.hpp"
+
+namespace streak::ilp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SolveIlp, BinaryKnapsack) {
+    // max 10a + 6b + 4c s.t. a+b+c <= 2 -> min form.
+    Model m;
+    const int a = m.addVariable(-10.0, true);
+    const int b = m.addVariable(-6.0, true);
+    const int c = m.addVariable(-4.0, true);
+    m.addRow({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::LessEqual, 2.0);
+    const Solution s = solveIlp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, -16.0, kTol);
+    EXPECT_NEAR(s.values[static_cast<size_t>(a)], 1.0, kTol);
+    EXPECT_NEAR(s.values[static_cast<size_t>(b)], 1.0, kTol);
+    EXPECT_NEAR(s.values[static_cast<size_t>(c)], 0.0, kTol);
+}
+
+TEST(SolveIlp, RequiresBranching) {
+    // Fractional LP optimum: min -(x+y) s.t. 2x + 2y <= 3, binary.
+    Model m;
+    const int x = m.addVariable(-1.0, true);
+    const int y = m.addVariable(-1.0, true);
+    m.addRow({{x, 2.0}, {y, 2.0}}, Sense::LessEqual, 3.0);
+    const Solution s = solveIlp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, -1.0, kTol);  // only one of x,y fits
+}
+
+TEST(SolveIlp, MixedIntegerContinuous) {
+    // min 4x + y  s.t. x + y >= 1.5, x binary, y continuous.
+    Model m;
+    const int x = m.addVariable(4.0, true);
+    const int y = m.addVariable(1.0, false);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, 1.5);
+    const Solution s = solveIlp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 1.5, kTol);  // x=0, y=1.5
+}
+
+TEST(SolveIlp, InfeasibleIntegerProblem) {
+    // x + y = 1 with x = y forced by two inequalities and binary parity
+    // conflict: x - y >= 0.5 impossible for binaries with x + y = 1 and
+    // y >= x.
+    Model m;
+    const int x = m.addVariable(1.0, true);
+    const int y = m.addVariable(1.0, true);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::Equal, 1.0);
+    m.addRow({{x, 1.0}, {y, -1.0}}, Sense::GreaterEqual, 0.5);
+    m.addRow({{y, 1.0}, {x, -1.0}}, Sense::GreaterEqual, 0.5);
+    EXPECT_EQ(solveIlp(m).status, SolveStatus::Infeasible);
+}
+
+TEST(SolveIlp, ProductLinearization) {
+    // The Streak pattern: y >= x1 + x2 - 1 with positive cost on y makes
+    // y the product of two chosen binaries.
+    Model m;
+    const int x1 = m.addVariable(-4.0, true);
+    const int x2 = m.addVariable(-4.0, true);
+    const int y = m.addVariable(3.0, false);
+    m.addRow({{y, 1.0}, {x1, -1.0}, {x2, -1.0}}, Sense::GreaterEqual, -1.0);
+    const Solution s = solveIlp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    // Both selected (-8) pays the pair penalty (+3) and still beats one
+    // selected (-4); y is forced to 1 by the linearization row.
+    EXPECT_NEAR(s.objective, -5.0, kTol);
+    EXPECT_NEAR(s.values[static_cast<size_t>(y)], 1.0, kTol);
+}
+
+TEST(SolveIlp, SelectionWithCapacity) {
+    // 3 objects pick 1-of-2 candidates; capacity forces the expensive mix.
+    Model m;
+    std::vector<int> cheap, costly;
+    for (int i = 0; i < 3; ++i) {
+        cheap.push_back(m.addVariable(1.0, true));
+        costly.push_back(m.addVariable(5.0, true));
+        m.addRow({{cheap.back(), 1.0}, {costly.back(), 1.0}}, Sense::Equal,
+                 1.0);
+    }
+    // All cheap candidates share an edge with capacity 2.
+    m.addRow({{cheap[0], 1.0}, {cheap[1], 1.0}, {cheap[2], 1.0}},
+             Sense::LessEqual, 2.0);
+    const Solution s = solveIlp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 7.0, kTol);  // 1 + 1 + 5
+}
+
+TEST(SolveIlp, NodeLimitReportsFeasibleOrLimit) {
+    Model m;
+    // 12 coupled binaries with awkward fractional LP.
+    std::vector<int> v;
+    for (int i = 0; i < 12; ++i) v.push_back(m.addVariable(-1.0 - 0.01 * i, true));
+    for (int i = 0; i + 1 < 12; ++i) {
+        m.addRow({{v[static_cast<size_t>(i)], 2.0},
+                  {v[static_cast<size_t>(i + 1)], 2.0}},
+                 Sense::LessEqual, 3.0);
+    }
+    BnbOptions opts;
+    opts.maxNodes = 3;
+    BnbStats stats;
+    const Solution s = solveIlp(m, opts, &stats);
+    EXPECT_TRUE(s.status == SolveStatus::Feasible ||
+                s.status == SolveStatus::Limit ||
+                s.status == SolveStatus::Optimal);
+    EXPECT_LE(stats.nodesExplored, 3);
+}
+
+TEST(SolveIlp, OptimalMatchesExhaustiveOnSmallInstance) {
+    // 4 binaries, random-ish costs, one knapsack row: compare against
+    // brute force.
+    const double cost[4] = {3.0, -5.0, 2.0, -4.0};
+    const double weight[4] = {2.0, 3.0, 1.0, 2.0};
+    Model m;
+    std::vector<int> v;
+    std::vector<std::pair<int, double>> knap;
+    for (int i = 0; i < 4; ++i) {
+        v.push_back(m.addVariable(cost[i], true));
+        knap.emplace_back(v.back(), weight[i]);
+    }
+    m.addRow(std::move(knap), Sense::LessEqual, 4.0);
+
+    double best = 0.0;
+    for (int mask = 0; mask < 16; ++mask) {
+        double c = 0.0, w = 0.0;
+        for (int i = 0; i < 4; ++i) {
+            if (mask & (1 << i)) {
+                c += cost[i];
+                w += weight[i];
+            }
+        }
+        if (w <= 4.0) best = std::min(best, c);
+    }
+    const Solution s = solveIlp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, best, kTol);
+}
+
+}  // namespace
+}  // namespace streak::ilp

@@ -1,0 +1,130 @@
+#include "ilp/lp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streak::ilp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SolveLp, SimpleTwoVariable) {
+    // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2, x,y >= 0.
+    Model m;
+    const int x = m.addVariable(-1.0, false, 0.0, 3.0);
+    const int y = m.addVariable(-2.0, false, 0.0, 2.0);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 4.0);
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, -6.0, kTol);  // x=2, y=2
+    EXPECT_NEAR(s.values[static_cast<size_t>(x)], 2.0, kTol);
+    EXPECT_NEAR(s.values[static_cast<size_t>(y)], 2.0, kTol);
+}
+
+TEST(SolveLp, EqualityConstraint) {
+    // min x + y  s.t. x + y = 5, x <= 2.
+    Model m;
+    const int x = m.addVariable(1.0, false, 0.0, 2.0);
+    const int y = m.addVariable(1.0, false);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::Equal, 5.0);
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 5.0, kTol);
+}
+
+TEST(SolveLp, GreaterEqualRows) {
+    // min 2x + 3y  s.t. x + y >= 4, x - y >= -1.
+    Model m;
+    const int x = m.addVariable(2.0, false);
+    const int y = m.addVariable(3.0, false);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::GreaterEqual, 4.0);
+    m.addRow({{x, 1.0}, {y, -1.0}}, Sense::GreaterEqual, -1.0);
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 8.0, kTol);  // x=4, y=0
+}
+
+TEST(SolveLp, DetectsInfeasible) {
+    Model m;
+    const int x = m.addVariable(1.0, false, 0.0, 1.0);
+    m.addRow({{x, 1.0}}, Sense::GreaterEqual, 2.0);
+    EXPECT_EQ(solveLp(m).status, SolveStatus::Infeasible);
+}
+
+TEST(SolveLp, DetectsUnbounded) {
+    Model m;
+    const int x = m.addVariable(-1.0, false);  // min -x, x unbounded above
+    m.addRow({{x, 1.0}}, Sense::GreaterEqual, 0.0);
+    EXPECT_EQ(solveLp(m).status, SolveStatus::Unbounded);
+}
+
+TEST(SolveLp, HonorsLowerBounds) {
+    // min x with x in [3, 10].
+    Model m;
+    const int x = m.addVariable(1.0, false, 3.0, 10.0);
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.values[static_cast<size_t>(x)], 3.0, kTol);
+    EXPECT_NEAR(s.objective, 3.0, kTol);
+}
+
+TEST(SolveLp, ObjectiveConstantCarriesThrough) {
+    Model m;
+    const int x = m.addVariable(1.0, false, 0.0, 5.0);
+    m.objectiveConstant = 100.0;
+    m.addRow({{x, 1.0}}, Sense::GreaterEqual, 1.0);
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 101.0, kTol);
+}
+
+TEST(SolveLp, DegenerateRedundantRows) {
+    // Redundant equalities must not break phase 1.
+    Model m;
+    const int x = m.addVariable(1.0, false);
+    const int y = m.addVariable(1.0, false);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::Equal, 2.0);
+    m.addRow({{x, 2.0}, {y, 2.0}}, Sense::Equal, 4.0);  // 2x the first
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(SolveLp, AssignmentRelaxationIsIntegral) {
+    // One-of-three selection with distinct costs: LP relaxation of a
+    // selection row picks the cheapest candidate.
+    Model m;
+    const int a = m.addVariable(5.0, false);
+    const int b = m.addVariable(3.0, false);
+    const int c = m.addVariable(9.0, false);
+    m.addRow({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::Equal, 1.0);
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.values[static_cast<size_t>(b)], 1.0, kTol);
+    EXPECT_NEAR(s.objective, 3.0, kTol);
+}
+
+TEST(SolveLp, MediumRandomishProblemStaysFinite) {
+    // A larger structured LP: 30 selection rows of 4 candidates with a
+    // shared capacity row. Sanity check for stability, not optimality.
+    Model m;
+    std::vector<int> vars;
+    for (int i = 0; i < 30; ++i) {
+        std::vector<std::pair<int, double>> row;
+        for (int j = 0; j < 4; ++j) {
+            const int v = m.addVariable(1.0 + j + (i % 3), false);
+            vars.push_back(v);
+            row.emplace_back(v, 1.0);
+        }
+        m.addRow(std::move(row), Sense::Equal, 1.0);
+    }
+    std::vector<std::pair<int, double>> cap;
+    for (size_t k = 0; k < vars.size(); k += 4) cap.emplace_back(vars[k], 1.0);
+    m.addRow(std::move(cap), Sense::LessEqual, 10.0);
+    const Solution s = solveLp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_GT(s.objective, 0.0);
+    EXPECT_LT(s.objective, 1e6);
+}
+
+}  // namespace
+}  // namespace streak::ilp

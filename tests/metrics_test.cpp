@@ -1,0 +1,89 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pd_solver.hpp"
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+using geom::Point;
+
+struct Fixture {
+    Design design;
+    RoutingProblem prob;
+    RoutedDesign routed;
+
+    explicit Fixture(Design d, StreakOptions opts = {})
+        : design(std::move(d)),
+          prob(buildProblem(design, opts)),
+          routed(materialize(prob, solvePrimalDual(prob).solution)) {}
+};
+
+TEST(Metrics, FullRoutabilityCounts) {
+    Fixture r(testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 5, 0, 1)}));
+    const Metrics m = evaluate(r.prob, r.routed);
+    EXPECT_EQ(m.totalBits, 5);
+    EXPECT_EQ(m.routedBits, 5);
+    EXPECT_DOUBLE_EQ(m.routability, 1.0);
+    EXPECT_EQ(m.wirelength, 5 * 12);
+    EXPECT_EQ(m.totalOverflow, 0);
+}
+
+TEST(Metrics, UnroutedBitsEstimatedWithRsmt) {
+    Fixture r(testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 3, 0, 1)}));
+    // Pretend nothing was routed.
+    RoutedDesign empty(r.design.grid);
+    for (int k = 0; k < 3; ++k) empty.unroutedMembers.emplace_back(0, k);
+    const Metrics m = evaluate(r.prob, empty);
+    EXPECT_EQ(m.routedBits, 0);
+    EXPECT_DOUBLE_EQ(m.routability, 0.0);
+    // RSMT estimate equals the straight-line length here.
+    EXPECT_EQ(m.wirelength, 3 * 12);
+}
+
+TEST(Metrics, SingleClusterGroupsExcludedFromReg) {
+    Fixture r(testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 4, 0, 1)}));
+    const Metrics m = evaluate(r.prob, r.routed);
+    // One object -> one cluster -> no pair -> trivially 1.0.
+    EXPECT_DOUBLE_EQ(m.avgRegularity, 1.0);
+}
+
+TEST(Metrics, TwoClusterGroupScoresPairRatio) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 4, 0, 1)});
+    d.groups[0].bits[2].pins[1] = {14, 12};
+    d.groups[0].bits[3].pins[1] = {14, 13};
+    Fixture r(std::move(d));
+    const Metrics m = evaluate(r.prob, r.routed);
+    EXPECT_GT(m.avgRegularity, 0.0);
+    EXPECT_LE(m.avgRegularity, 1.0);
+}
+
+TEST(Metrics, OverflowSurfacesInMetrics) {
+    Fixture r(testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 3, 0, 1)}));
+    // Inject synthetic over-usage.
+    const int e = r.design.grid.edgeId(0, 5, 4);
+    r.routed.usage.add(e, r.design.grid.capacity(e) + 3);
+    const Metrics m = evaluate(r.prob, r.routed);
+    EXPECT_GE(m.totalOverflow, 3);
+    EXPECT_GE(m.overflowedEdges, 1);
+}
+
+TEST(Metrics, EmptyDesign) {
+    Design d = testutil::makeDesign({});
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutedDesign routed(d.grid);
+    const Metrics m = evaluate(prob, routed);
+    EXPECT_EQ(m.totalBits, 0);
+    EXPECT_DOUBLE_EQ(m.routability, 1.0);
+    EXPECT_DOUBLE_EQ(m.avgRegularity, 1.0);
+}
+
+}  // namespace
+}  // namespace streak

@@ -1,0 +1,87 @@
+#include "core/regularity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace streak {
+namespace {
+
+using geom::Point;
+using steiner::Topology;
+
+Topology lTopo(Point driver, Point sink, bool horizontalFirst) {
+    Topology t({driver, sink}, 0);
+    const Point corner = horizontalFirst ? Point{sink.x, driver.y}
+                                         : Point{driver.x, sink.y};
+    t.addLShape(driver, sink, corner);
+    return t;
+}
+
+TEST(RegularityRatio, IdenticalShapesScoreOne) {
+    const Topology a = lTopo({0, 0}, {6, 4}, true);
+    const Topology b = lTopo({0, 10}, {6, 14}, true);
+    EXPECT_DOUBLE_EQ(regularityRatio(a, b), 1.0);
+}
+
+TEST(RegularityRatio, SymmetricInArguments) {
+    const Topology a = lTopo({0, 0}, {6, 4}, true);
+    const Topology b = lTopo({0, 10}, {9, 12}, false);
+    EXPECT_DOUBLE_EQ(regularityRatio(a, b), regularityRatio(b, a));
+}
+
+TEST(RegularityRatio, BoundedByOne) {
+    const Topology a = lTopo({0, 0}, {6, 4}, true);
+    const Topology b = lTopo({2, 0}, {9, 9}, false);
+    const double r = regularityRatio(a, b);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+}
+
+TEST(RegularityRatio, StraightVsLShareTrunk) {
+    // Fig. 3(a): a straight +x route and an L route; the bend maps to the
+    // sink, the shared horizontal trunk matches -> ratio 1.
+    Topology straight({{0, 0}, {8, 0}}, 0);
+    straight.addSegment({{0, 0}, {8, 0}});
+    const Topology l = lTopo({0, 4}, {8, 9}, true);
+    EXPECT_DOUBLE_EQ(regularityRatio(straight, l), 1.0);
+}
+
+TEST(RegularityRatio, OppositeDirectionsShareNothing) {
+    Topology right({{0, 0}, {8, 0}}, 0);
+    right.addSegment({{0, 0}, {8, 0}});
+    Topology up({{0, 0}, {0, 8}}, 0);
+    up.addSegment({{0, 0}, {0, 8}});
+    EXPECT_LT(regularityRatio(right, up), 1.0);
+}
+
+TEST(RegularityRatio, SelfRatioIsOne) {
+    const Topology a = lTopo({3, 3}, {9, 8}, false);
+    EXPECT_DOUBLE_EQ(regularityRatio(a, a), 1.0);
+}
+
+TEST(RegularityRatio, NoRCsIsTriviallyRegular) {
+    const Topology a({{2, 2}}, 0);
+    const Topology b = lTopo({0, 0}, {4, 4}, true);
+    EXPECT_DOUBLE_EQ(regularityRatio(a, b), 1.0);
+}
+
+TEST(GroupRegularity, SingleObjectIsOne) {
+    const Topology a = lTopo({0, 0}, {5, 5}, true);
+    EXPECT_DOUBLE_EQ(groupRegularity({&a}), 1.0);
+    EXPECT_DOUBLE_EQ(groupRegularity({}), 1.0);
+}
+
+TEST(GroupRegularity, AveragesPairs) {
+    const Topology a = lTopo({0, 0}, {6, 4}, true);
+    const Topology b = lTopo({0, 10}, {6, 14}, true);   // same shape as a
+    Topology c({{0, 20}, {0, 28}}, 0);                  // vertical straight
+    c.addSegment({{0, 20}, {0, 28}});
+    const double rAB = regularityRatio(a, b);
+    const double rAC = regularityRatio(a, c);
+    const double rBC = regularityRatio(b, c);
+    const double expected = (rAB + rAC + rBC) / 3.0;
+    EXPECT_NEAR(groupRegularity({&a, &b, &c}), expected, 1e-12);
+    EXPECT_DOUBLE_EQ(rAB, 1.0);
+}
+
+}  // namespace
+}  // namespace streak

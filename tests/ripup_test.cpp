@@ -1,0 +1,85 @@
+#include "post/ripup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pd_solver.hpp"
+#include "gen/generator.hpp"
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+using geom::Point;
+
+TEST(Ripup, NoopWhenEverythingRouted) {
+    const Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 4, 0, 1)});
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution sol = solvePrimalDual(prob).solution;
+    const std::vector<int> before = sol.chosen;
+    const post::RipupResult r = post::ripupAndReroute(prob, &sol);
+    EXPECT_EQ(r.objectsRecovered, 0);
+    EXPECT_EQ(r.objectsRipped, 0);
+    EXPECT_EQ(sol.chosen, before);
+}
+
+TEST(Ripup, RecoversDirectFitAfterFreedCapacity) {
+    // Two identical single-bit groups on a capacity-1 corridor: PD routes
+    // one and skips the other. Rip-up must rip the winner and... both
+    // cannot fit; it must end capacity-clean either way.
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{4, 4}, {12, 4}}, 1, 0, 1, "a"),
+         testutil::makeBusGroup({{4, 4}, {12, 4}}, 1, 0, 1, "b")},
+        32, 32, 2, 1);
+    // Only one horizontal layer of capacity 1 on the shared row and no
+    // alternate rows: block everything except y = 4.
+    for (int y = 0; y < 32; ++y) {
+        if (y == 4) continue;
+        d.grid.addBlockage({{0, y}, {31, y}}, 0, 0);
+    }
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution sol = solvePrimalDual(prob).solution;
+    post::ripupAndReroute(prob, &sol);
+    const RoutedDesign rd = materialize(prob, sol);
+    EXPECT_EQ(rd.usage.totalOverflow(), 0);
+    // At most one of the two coincident objects can hold the track.
+    int routed = 0;
+    for (const int c : sol.chosen) routed += c >= 0 ? 1 : 0;
+    EXPECT_EQ(routed, 1);
+}
+
+TEST(Ripup, StaysCapacityCleanOnCongestedSuite) {
+    const Design d = gen::makeSynth(6);
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution sol = solvePrimalDual(prob).solution;
+    int routedBefore = 0;
+    for (const int c : sol.chosen) routedBefore += c >= 0 ? 1 : 0;
+    const post::RipupResult r = post::ripupAndReroute(prob, &sol);
+    const RoutedDesign rd = materialize(prob, sol);
+    EXPECT_EQ(rd.usage.totalOverflow(), 0);
+    EXPECT_EQ(rd.usage.totalViaOverflow(), 0);
+    // Accounting consistency.
+    EXPECT_GE(r.objectsRecovered, 0);
+    EXPECT_LE(r.objectsLost, r.objectsRipped);
+}
+
+TEST(Ripup, DeterministicAcrossRuns) {
+    const Design d = gen::makeSynth(6);
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution a = solvePrimalDual(prob).solution;
+    RoutingSolution b = a;
+    post::ripupAndReroute(prob, &a);
+    post::ripupAndReroute(prob, &b);
+    EXPECT_EQ(a.chosen, b.chosen);
+}
+
+TEST(Ripup, ObjectiveMatchesChosenAssignment) {
+    const Design d = gen::makeSynth(1);
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution sol = solvePrimalDual(prob).solution;
+    post::ripupAndReroute(prob, &sol);
+    EXPECT_DOUBLE_EQ(sol.objective, solutionObjective(prob, sol.chosen));
+}
+
+}  // namespace
+}  // namespace streak

@@ -1,0 +1,144 @@
+// Tests for the maze router and the sequential baseline.
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "route/maze.hpp"
+#include "route/sequential.hpp"
+#include "test_util.hpp"
+
+namespace streak::route {
+namespace {
+
+using geom::Point;
+
+TEST(MazeRouter, TwoPinShortestPath) {
+    grid::RoutingGrid g(16, 16, 2, 4);
+    grid::EdgeUsage usage(g);
+    MazeRouter router(&usage);
+    const auto net = router.route({{2, 3}, {9, 8}}, 0);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(net->wirelength2d, 12);  // Manhattan distance
+    // Usage was committed.
+    long used = 0;
+    for (int e = 0; e < g.numEdges(); ++e) used += usage.usage(e);
+    EXPECT_EQ(used, 12);
+}
+
+TEST(MazeRouter, MultiPinTreeSharesTrunk) {
+    grid::RoutingGrid g(20, 20, 2, 8);
+    grid::EdgeUsage usage(g);
+    MazeRouter router(&usage);
+    // Driver plus two sinks on the same row: wire must not double-count.
+    const auto net = router.route({{2, 5}, {10, 5}, {16, 5}}, 0);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(net->wirelength2d, 14);  // one straight trunk
+}
+
+TEST(MazeRouter, AvoidsFullEdges) {
+    grid::RoutingGrid g(8, 8, 2, 1);
+    grid::EdgeUsage usage(g);
+    // Wall off the direct row.
+    for (int x = 2; x < 5; ++x) usage.add(g.edgeId(0, x, 3), 1);
+    MazeRouter router(&usage);
+    const auto net = router.route({{1, 3}, {6, 3}}, 0);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_GT(net->wirelength2d, 5);  // must detour around the wall
+    EXPECT_EQ(usage.totalOverflow(), 0);
+}
+
+TEST(MazeRouter, FailsWhenFullyBlocked) {
+    grid::RoutingGrid g(8, 8, 2, 1);
+    // Vertical cut at x = 3..4 on all layers.
+    for (int y = 0; y < 8; ++y) {
+        g.addBlockage({{3, y}, {4, y}}, 0, 0);
+    }
+    for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 7; ++y) {
+            if (x >= 3 && x <= 4) g.addBlockage({{x, y}, {x, y}}, 1, 0);
+        }
+    }
+    grid::EdgeUsage usage(g);
+    MazeRouter router(&usage);
+    const auto net = router.route({{1, 4}, {6, 4}}, 0);
+    EXPECT_FALSE(net.has_value());
+    // Rollback: nothing committed.
+    for (int e = 0; e < g.numEdges(); ++e) EXPECT_EQ(usage.usage(e), 0);
+}
+
+TEST(MazeRouter, CongestionPenaltySpreadsRoutes) {
+    grid::RoutingGrid g(10, 10, 2, 2);
+    grid::EdgeUsage usage(g);
+    MazeOptions opts;
+    opts.congestionPenalty = 50.0;
+    MazeRouter router(&usage, opts);
+    // Route three identical nets; they should spread across rows and
+    // never overflow.
+    for (int i = 0; i < 3; ++i) {
+        const auto net = router.route({{1, 5}, {8, 5}}, 0);
+        ASSERT_TRUE(net.has_value());
+    }
+    EXPECT_EQ(usage.totalOverflow(), 0);
+}
+
+
+TEST(MazeRouter, AllowOverflowKeepsRoutingThroughFullEdges) {
+    grid::RoutingGrid g(8, 8, 2, 1);
+    grid::EdgeUsage usage(g);
+    // Saturate every horizontal edge of rows 0..7 except leave no free
+    // row: the direct path must overflow somewhere.
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 7; ++x) usage.add(g.edgeId(0, x, y), 1);
+    }
+    MazeOptions opts;
+    opts.allowOverflow = true;
+    MazeRouter router(&usage, opts);
+    const auto net = router.route({{1, 3}, {6, 3}}, 0);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_GT(usage.totalOverflow(), 0);
+}
+
+TEST(MazeRouter, OverflowNeverCrossesHardBlockages) {
+    grid::RoutingGrid g(8, 8, 2, 1);
+    // Capacity-0 wall: even with allowOverflow, impassable.
+    for (int y = 0; y < 8; ++y) g.addBlockage({{3, y}, {4, y}}, 0, 0);
+    for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 7; ++y) {
+            if (x >= 3 && x <= 4) g.addBlockage({{x, y}, {x, y}}, 1, 0);
+        }
+    }
+    grid::EdgeUsage usage(g);
+    MazeOptions opts;
+    opts.allowOverflow = true;
+    MazeRouter router(&usage, opts);
+    EXPECT_FALSE(router.route({{1, 4}, {6, 4}}, 0).has_value());
+}
+
+TEST(SequentialRouter, RoutesFullDesign) {
+    const Design d = gen::makeSynth(1);
+    const SequentialResult r = routeSequential(d);
+    EXPECT_EQ(r.totalBits, d.numNets());
+    EXPECT_GT(r.routability(), 0.95);
+    EXPECT_GT(r.wirelength, 0);
+    EXPECT_EQ(r.usage.totalOverflow(), 0);
+}
+
+TEST(SequentialRouter, WirelengthNearSteinerOptimal) {
+    // Uncongested single group: maze wire-length should be close to the
+    // sum of per-bit RSMT lengths.
+    const Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 4, 0, 1)});
+    const SequentialResult r = routeSequential(d);
+    EXPECT_EQ(r.routedBits, 4);
+    EXPECT_EQ(r.wirelength, 4 * 12);
+}
+
+TEST(SequentialRouter, DeterministicAcrossRuns) {
+    const Design d = gen::makeSynth(1);
+    const SequentialResult a = routeSequential(d);
+    const SequentialResult b = routeSequential(d);
+    EXPECT_EQ(a.wirelength, b.wirelength);
+    EXPECT_EQ(a.routedBits, b.routedBits);
+}
+
+}  // namespace
+}  // namespace streak::route

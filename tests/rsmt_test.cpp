@@ -1,0 +1,151 @@
+#include "steiner/rsmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace streak::steiner {
+namespace {
+
+using geom::Point;
+
+TEST(RectilinearMST, TwoPoints) {
+    const std::vector<Point> pts{{0, 0}, {3, 4}};
+    const auto edges = rectilinearMST(pts);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(mstLength(pts), 7);
+}
+
+TEST(RectilinearMST, EmptyAndSingle) {
+    EXPECT_TRUE(rectilinearMST({}).empty());
+    EXPECT_TRUE(rectilinearMST({{1, 1}}).empty());
+    EXPECT_EQ(mstLength({{1, 1}}), 0);
+}
+
+TEST(RectilinearMST, KnownSquare) {
+    // Unit square corners: MST length 3.
+    EXPECT_EQ(mstLength({{0, 0}, {1, 0}, {0, 1}, {1, 1}}), 3);
+}
+
+TEST(HananPoints, CrossingsExcludePins) {
+    const auto pts = hananPoints({{0, 0}, {2, 3}});
+    // 2x2 grid minus the 2 pins = 2 candidates.
+    ASSERT_EQ(pts.size(), 2u);
+    for (const Point p : pts) {
+        EXPECT_TRUE((p == Point{0, 3}) || (p == Point{2, 0}));
+    }
+}
+
+TEST(Iterated1Steiner, ClassicCrossGains) {
+    // Four arms of a plus sign: the center Steiner point saves length.
+    const std::vector<Point> pins{{0, 2}, {4, 2}, {2, 0}, {2, 4}};
+    const auto steiner = iterated1Steiner(pins);
+    ASSERT_EQ(steiner.size(), 1u);
+    EXPECT_EQ(steiner[0], (Point{2, 2}));
+    std::vector<Point> all = pins;
+    all.push_back(steiner[0]);
+    EXPECT_EQ(mstLength(all), 8);
+    EXPECT_EQ(mstLength(pins), 12);
+}
+
+TEST(Iterated1Steiner, NoGainForCollinearPins) {
+    const std::vector<Point> pins{{0, 0}, {3, 0}, {7, 0}};
+    EXPECT_TRUE(iterated1Steiner(pins).empty());
+}
+
+TEST(RectifyTree, ProducesConnectedTopology) {
+    const std::vector<Point> pins{{0, 0}, {5, 3}, {2, 6}};
+    for (const LMode mode :
+         {LMode::LowerFirst, LMode::UpperFirst, LMode::Adaptive}) {
+        const Topology t = rectifyTree(pins, 0, {}, mode);
+        EXPECT_TRUE(t.connected());
+        EXPECT_GE(t.wirelength(), mstLength(pins) - 4);  // overlap can save
+    }
+}
+
+TEST(EnumerateTopologies, AlwaysReturnsAtLeastOne) {
+    const auto topos = enumerateTopologies({{0, 0}, {4, 4}}, 0);
+    ASSERT_FALSE(topos.empty());
+    for (const Topology& t : topos) {
+        EXPECT_TRUE(t.isTree());
+        EXPECT_EQ(t.wirelength(), 8);  // both L shapes are shortest
+    }
+}
+
+TEST(EnumerateTopologies, DistinctLShapesForDiagonalPair) {
+    const auto topos = enumerateTopologies({{0, 0}, {4, 4}}, 0);
+    ASSERT_GE(topos.size(), 2u);
+    EXPECT_NE(topos[0].wireHash(), topos[1].wireHash());
+}
+
+TEST(EnumerateTopologies, RespectsMaxCandidates) {
+    EnumerateOptions opts;
+    opts.maxCandidates = 1;
+    const auto topos =
+        enumerateTopologies({{0, 0}, {4, 4}, {8, 1}, {3, 7}}, 0, opts);
+    EXPECT_EQ(topos.size(), 1u);
+}
+
+TEST(EnumerateTopologies, SortedByBendAwareCost) {
+    EnumerateOptions opts;
+    opts.bendPenalty = 3;
+    const auto topos =
+        enumerateTopologies({{0, 0}, {6, 2}, {1, 5}, {7, 7}}, 0, opts);
+    for (size_t i = 1; i < topos.size(); ++i) {
+        const int prev = topos[i - 1].wirelength() +
+                         opts.bendPenalty * topos[i - 1].bendCount();
+        const int cur =
+            topos[i].wirelength() + opts.bendPenalty * topos[i].bendCount();
+        EXPECT_LE(prev, cur);
+    }
+}
+
+// ---- property sweep: random pin sets ----
+
+class RsmtPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsmtPropertyTest, TreesAreValidAndNoLongerThanMST) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    std::uniform_int_distribution<int> coord(0, 30);
+    std::uniform_int_distribution<int> count(2, 9);
+    const int n = count(rng);
+    std::vector<Point> pins;
+    for (int i = 0; i < n; ++i) pins.push_back({coord(rng), coord(rng)});
+
+    const long mst = mstLength(pins);
+    const auto topos = enumerateTopologies(pins, 0);
+    ASSERT_FALSE(topos.empty());
+    for (const Topology& t : topos) {
+        EXPECT_TRUE(t.isTree()) << "seed " << GetParam();
+        // Any rectilinear Steiner tree is at most the RMST length (our
+        // enumeration starts from the RMST and only improves) and at least
+        // 2/3 of it (the Hwang bound on RSMT/RMST).
+        EXPECT_LE(t.wirelength(), mst);
+        EXPECT_GE(3L * t.wirelength(), 2L * mst);
+        // Covers every pin.
+        for (size_t p = 0; p < pins.size(); ++p) {
+            const auto d = t.sourceToSinkDistances();
+            EXPECT_GE(d[p], 0);
+        }
+    }
+}
+
+TEST_P(RsmtPropertyTest, SteinerInsertionNeverHurts) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u);
+    std::uniform_int_distribution<int> coord(0, 25);
+    std::uniform_int_distribution<int> count(3, 8);
+    const int n = count(rng);
+    std::vector<Point> pins;
+    for (int i = 0; i < n; ++i) pins.push_back({coord(rng), coord(rng)});
+
+    const auto steiner = iterated1Steiner(pins);
+    std::vector<Point> all = pins;
+    all.insert(all.end(), steiner.begin(), steiner.end());
+    EXPECT_LE(mstLength(all), mstLength(pins));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, RsmtPropertyTest,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace streak::steiner

@@ -1,0 +1,97 @@
+#include "core/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+using geom::Point;
+
+TEST(DirectionIndex, EightDirections) {
+    const Point o{5, 5};
+    EXPECT_EQ(directionIndex(o, {9, 5}), 0);  // +x
+    EXPECT_EQ(directionIndex(o, {9, 9}), 1);  // QI
+    EXPECT_EQ(directionIndex(o, {5, 9}), 2);  // +y
+    EXPECT_EQ(directionIndex(o, {1, 9}), 3);  // QII
+    EXPECT_EQ(directionIndex(o, {1, 5}), 4);  // -x
+    EXPECT_EQ(directionIndex(o, {1, 1}), 5);  // QIII
+    EXPECT_EQ(directionIndex(o, {5, 1}), 6);  // -y
+    EXPECT_EQ(directionIndex(o, {9, 1}), 7);  // QIV
+}
+
+TEST(PinSimilarity, PaperTwoPinExample) {
+    // Fig. 3(a) top style: driver with one sink at +x.
+    const Bit bit = testutil::makeBit({{0, 0}, {6, 0}});
+    const SimilarityVector driver = pinSimilarity(bit, 0);
+    EXPECT_EQ(driver.v, (std::array<int, 8>{1, 0, 0, 0, 0, 0, 0, 0}));
+    const SimilarityVector sink = pinSimilarity(bit, 1);
+    EXPECT_EQ(sink.v, (std::array<int, 8>{0, 0, 0, 0, 1, 0, 0, 0}));
+}
+
+TEST(PinSimilarity, AllEightDirections) {
+    // Fig. 5(a): driver in the middle, one sink in each direction.
+    std::vector<Point> pins{{0, 0}};
+    const Point around[8] = {{3, 0}, {3, 3}, {0, 3}, {-3, 3},
+                             {-3, 0}, {-3, -3}, {0, -3}, {3, -3}};
+    for (const Point p : around) pins.push_back(p);
+    const Bit bit = testutil::makeBit(pins);
+    const SimilarityVector sv = pinSimilarity(bit, 0);
+    EXPECT_EQ(sv.v, (std::array<int, 8>{1, 1, 1, 1, 1, 1, 1, 1}));
+}
+
+TEST(PinSimilarity, TranslationInvariant) {
+    const Bit a = testutil::makeBit({{2, 3}, {7, 3}, {5, 8}});
+    const Bit b = testutil::makeBit({{12, 23}, {17, 23}, {15, 28}});
+    for (int p = 0; p < 3; ++p) {
+        EXPECT_EQ(pinSimilarity(a, p), pinSimilarity(b, p));
+    }
+}
+
+TEST(PinSimilarity, StretchInvariant) {
+    // SV captures direction only, not distance.
+    const Bit a = testutil::makeBit({{0, 0}, {3, 1}});
+    const Bit b = testutil::makeBit({{0, 0}, {9, 5}});
+    EXPECT_EQ(pinSimilarity(a, 0), pinSimilarity(b, 0));
+}
+
+TEST(PinSimilarity, CoincidentPinsNotCounted) {
+    const Bit bit = testutil::makeBit({{1, 1}, {1, 1}, {4, 1}});
+    EXPECT_EQ(pinSimilarity(bit, 0).v,
+              (std::array<int, 8>{1, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST(BitSimilarities, AlignedWithPins) {
+    const Bit bit = testutil::makeBit({{0, 0}, {5, 0}, {0, 5}});
+    const auto svs = bitSimilarities(bit);
+    ASSERT_EQ(svs.size(), 3u);
+    EXPECT_EQ(svs[0].v, (std::array<int, 8>{1, 0, 1, 0, 0, 0, 0, 0}));
+}
+
+TEST(WeightedSimilarity, DriverDominates) {
+    const std::vector<Point> pts{{0, 0}, {5, 0}, {0, 5}};
+    const SimilarityVector sv = weightedSimilarity(pts, 1, 0, 10);
+    // From (5,0): driver at -x with weight 10, the other point in QII.
+    EXPECT_EQ(sv.v, (std::array<int, 8>{0, 0, 0, 1, 10, 0, 0, 0}));
+}
+
+TEST(SvDistance, L1Metric) {
+    SimilarityVector a, b;
+    a.v = {1, 0, 0, 0, 0, 0, 0, 0};
+    b.v = {0, 0, 1, 0, 0, 0, 0, 0};
+    EXPECT_EQ(svDistance(a, a), 0);
+    EXPECT_EQ(svDistance(a, b), 2);
+}
+
+TEST(SvKey, EqualVectorsSameKey) {
+    SimilarityVector a, b;
+    a.v = {1, 2, 0, 0, 3, 0, 0, 0};
+    b.v = a.v;
+    EXPECT_EQ(svKey(a), svKey(b));
+    b.v[7] = 1;
+    EXPECT_NE(svKey(a), svKey(b));
+}
+
+}  // namespace
+}  // namespace streak

@@ -1,0 +1,115 @@
+// Property sweep over the TopoStructure view: for any tree topology the
+// derived RC graph must itself be a tree over the feature nodes whose
+// total length equals the wire-length. These invariants underpin the
+// regularity ratio, track assignment and refinement, so they get their
+// own sweep.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "steiner/rsmt.hpp"
+#include "steiner/topology.hpp"
+
+namespace streak::steiner {
+namespace {
+
+using geom::Point;
+
+class StructureProperty : public ::testing::TestWithParam<int> {};
+
+std::vector<Point> randomPins(unsigned seed, int minCount, int maxCount) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> coord(0, 24);
+    std::uniform_int_distribution<int> count(minCount, maxCount);
+    const int n = count(rng);
+    std::set<Point> unique;
+    while (static_cast<int>(unique.size()) < n) {
+        unique.insert({coord(rng), coord(rng)});
+    }
+    return {unique.begin(), unique.end()};
+}
+
+TEST_P(StructureProperty, RcLengthsSumToWirelength) {
+    const auto pins = randomPins(static_cast<unsigned>(GetParam()), 2, 8);
+    for (const Topology& t : enumerateTopologies(pins, 0)) {
+        const TopoStructure st = t.structure();
+        long rcTotal = 0;
+        for (const auto& [u, v] : st.rcs) {
+            rcTotal += manhattan(st.nodes[static_cast<size_t>(u)].pt,
+                                 st.nodes[static_cast<size_t>(v)].pt);
+        }
+        EXPECT_EQ(rcTotal, t.wirelength());
+    }
+}
+
+TEST_P(StructureProperty, RcGraphIsTreeForTreeTopologies) {
+    const auto pins = randomPins(static_cast<unsigned>(GetParam()) + 100u, 3, 8);
+    for (const Topology& t : enumerateTopologies(pins, 0)) {
+        ASSERT_TRUE(t.isTree());
+        const TopoStructure st = t.structure();
+        if (st.nodes.empty()) continue;
+        // Tree: |RC| = |nodes| - 1 and connected.
+        EXPECT_EQ(st.numRCs(), static_cast<int>(st.nodes.size()) - 1);
+        // Union-find connectivity over RCs.
+        std::vector<int> parent(st.nodes.size());
+        for (size_t i = 0; i < parent.size(); ++i) {
+            parent[i] = static_cast<int>(i);
+        }
+        const auto find = [&](int a) {
+            while (parent[static_cast<size_t>(a)] != a) {
+                a = parent[static_cast<size_t>(a)];
+            }
+            return a;
+        };
+        for (const auto& [u, v] : st.rcs) {
+            parent[static_cast<size_t>(find(u))] = find(v);
+        }
+        const int root = find(0);
+        for (size_t i = 0; i < st.nodes.size(); ++i) {
+            EXPECT_EQ(find(static_cast<int>(i)), root);
+        }
+    }
+}
+
+TEST_P(StructureProperty, EveryPinAppearsAsNode) {
+    const auto pins = randomPins(static_cast<unsigned>(GetParam()) + 200u, 2, 7);
+    for (const Topology& t : enumerateTopologies(pins, 0)) {
+        const TopoStructure st = t.structure();
+        std::set<int> pinNodes;
+        for (const auto& n : st.nodes) {
+            if (n.pinIndex >= 0) pinNodes.insert(n.pinIndex);
+        }
+        // Distinct pin positions each own a node (coincident pins share).
+        std::set<Point> distinct(t.pins().begin(), t.pins().end());
+        EXPECT_GE(pinNodes.size(), distinct.size() > 0 ? 1u : 0u);
+        for (size_t i = 0; i < t.pins().size(); ++i) {
+            bool found = false;
+            for (const auto& n : st.nodes) {
+                if (n.pt == t.pins()[i]) {
+                    found = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(found) << "pin " << i;
+        }
+    }
+}
+
+TEST_P(StructureProperty, BendNodesMatchBendCount) {
+    const auto pins = randomPins(static_cast<unsigned>(GetParam()) + 300u, 2, 7);
+    for (const Topology& t : enumerateTopologies(pins, 0)) {
+        const TopoStructure st = t.structure();
+        int bends = 0;
+        for (const auto& n : st.nodes) bends += n.isBend ? 1 : 0;
+        // structure() flags only degree-2 corners as bends; bendCount()
+        // counts every mixed-orientation point (including junctions and
+        // corner pins), so it dominates.
+        EXPECT_LE(bends, t.bendCount());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructureProperty, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace streak::steiner

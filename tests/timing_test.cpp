@@ -1,0 +1,130 @@
+#include "timing/elmore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pd_solver.hpp"
+#include "post/refine.hpp"
+#include "test_util.hpp"
+#include "timing/skew.hpp"
+
+namespace streak::timing {
+namespace {
+
+using geom::Point;
+
+steiner::Topology straightWire(int length) {
+    steiner::Topology t({{0, 0}, {length, 0}}, 0);
+    t.addSegment({{0, 0}, {length, 0}});
+    return t;
+}
+
+TEST(Elmore, HandComputedTwoSegmentLine) {
+    // Driver -(r,c)- mid -(r,c)- sink, unit wire RC, no vias.
+    ElmoreParameters p;
+    p.wireResistance = 1.0;
+    p.wireCapacitance = 1.0;
+    p.driverResistance = 0.0;
+    p.viaResistance = 0.0;
+    p.viaCapacitance = 0.0;
+    p.sinkLoad = 0.0;
+    const auto d = elmoreDelays(straightWire(2), p);
+    // Pi model, unit RC per segment. Edge 1 charges the cap at/below the
+    // mid node: 0.5 (its child-side half) + 1.0 (all of edge 2) = 1.5.
+    // Edge 2 charges the cap at/below the sink: 0.5. Delay = 1.5 + 0.5.
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+    EXPECT_DOUBLE_EQ(d[1], 2.0);
+}
+
+TEST(Elmore, DelayIncreasesWithLength) {
+    ElmoreParameters p;
+    double prev = 0.0;
+    for (const int len : {2, 5, 9, 14}) {
+        const auto d = elmoreDelays(straightWire(len), p);
+        EXPECT_GT(d[1], prev);
+        prev = d[1];
+    }
+}
+
+TEST(Elmore, DriverResistanceChargesWholeTree) {
+    ElmoreParameters base;
+    base.driverResistance = 0.0;
+    ElmoreParameters strong = base;
+    strong.driverResistance = 10.0;
+    const auto d0 = elmoreDelays(straightWire(4), base);
+    const auto d1 = elmoreDelays(straightWire(4), strong);
+    // Extra delay = Rd * total load, identical at every sink.
+    EXPECT_GT(d1[1], d0[1]);
+    EXPECT_DOUBLE_EQ(d1[0] - d0[0], d1[1] - d0[1]);
+}
+
+TEST(Elmore, ViasAddDelay) {
+    // Same wire-length, one bend vs none.
+    ElmoreParameters p;
+    steiner::Topology bent({{0, 0}, {2, 2}}, 0);
+    bent.addLShape({0, 0}, {2, 2}, {2, 0});
+    const auto straight = elmoreDelays(straightWire(4), p);
+    const auto withVia = elmoreDelays(bent, p);
+    EXPECT_GT(withVia[1], straight[1]);
+}
+
+TEST(Elmore, SymmetricForkHasZeroSkew) {
+    // Driver at the middle of a straight wire with symmetric sinks.
+    steiner::Topology t({{5, 0}, {0, 0}, {10, 0}}, 0);
+    t.addSegment({{0, 0}, {10, 0}});
+    EXPECT_DOUBLE_EQ(sinkSkew(t), 0.0);
+}
+
+TEST(Elmore, AsymmetricForkHasPositiveSkew) {
+    steiner::Topology t({{3, 0}, {0, 0}, {10, 0}}, 0);
+    t.addSegment({{0, 0}, {10, 0}});
+    EXPECT_GT(sinkSkew(t), 0.0);
+}
+
+TEST(Elmore, UnreachablePinGetsMinusOne) {
+    steiner::Topology t({{0, 0}, {9, 9}}, 0);
+    t.addSegment({{0, 0}, {3, 0}});
+    const auto d = elmoreDelays(t);
+    EXPECT_LT(d[1], 0.0);
+    EXPECT_GE(d[0], 0.0);
+}
+
+TEST(GroupSkew, MatchedBusHasTinySkew) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 4, 0, 1)});
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutedDesign routed = materialize(prob, solvePrimalDual(prob).solution);
+    const auto reports = analyzeGroupSkew(prob, routed);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_NEAR(reports[0].maxFamilySkew, 0.0, 1e-9);
+    EXPECT_GT(reports[0].maxDelay, 0.0);
+}
+
+TEST(GroupSkew, ShortBitCreatesSkew) {
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{0, 0}, {4, 0}}));
+    g.bits.push_back(testutil::makeBit({{0, 1}, {20, 1}}));
+    Design d = testutil::makeDesign({g});
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutedDesign routed = materialize(prob, solvePrimalDual(prob).solution);
+    const auto reports = analyzeGroupSkew(prob, routed);
+    EXPECT_GT(reports[0].maxFamilySkew, 0.0);
+}
+
+TEST(GroupSkew, DistanceRefinementReducesDelaySkew) {
+    // The motivation chain of the paper: matching distances should also
+    // tighten Elmore skew.
+    SignalGroup g;
+    g.bits.push_back(testutil::makeBit({{4, 10}, {8, 10}}));
+    g.bits.push_back(testutil::makeBit({{4, 11}, {24, 11}}));
+    g.bits.push_back(testutil::makeBit({{4, 12}, {24, 12}}));
+    Design d = testutil::makeDesign({g});
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutedDesign routed = materialize(prob, solvePrimalDual(prob).solution);
+    const double before = analyzeGroupSkew(prob, routed)[0].maxFamilySkew;
+    post::refineDistances(prob, &routed);
+    const double after = analyzeGroupSkew(prob, routed)[0].maxFamilySkew;
+    EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace streak::timing

@@ -1,0 +1,86 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+using geom::Point;
+using Severity = ValidationIssue::Severity;
+
+int countErrors(const std::vector<ValidationIssue>& issues) {
+    int n = 0;
+    for (const auto& i : issues) n += i.severity == Severity::Error ? 1 : 0;
+    return n;
+}
+
+TEST(Validate, CleanDesignHasNoIssues) {
+    const Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 4, 0, 1)});
+    const auto issues = validateDesign(d);
+    EXPECT_TRUE(issues.empty());
+    EXPECT_TRUE(isRoutable(issues));
+}
+
+TEST(Validate, GeneratedSuitesAreRoutable) {
+    for (int i = 1; i <= 7; ++i) {
+        const auto issues = validateDesign(gen::makeSynth(i));
+        EXPECT_TRUE(isRoutable(issues)) << "synth" << i;
+    }
+}
+
+TEST(Validate, PinOutsideGridIsError) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 2, 0, 1)}, 16, 16);
+    d.groups[0].bits[0].pins[1] = {40, 4};
+    const auto issues = validateDesign(d);
+    EXPECT_EQ(countErrors(issues), 1);
+    EXPECT_FALSE(isRoutable(issues));
+}
+
+TEST(Validate, BadDriverIndexIsError) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 2, 0, 1)});
+    d.groups[0].bits[1].driver = 7;
+    EXPECT_FALSE(isRoutable(validateDesign(d)));
+}
+
+TEST(Validate, SinglePinBitIsError) {
+    SignalGroup g;
+    Bit b;
+    b.name = "lonely";
+    b.pins = {{3, 3}};
+    b.driver = 0;
+    g.name = "g";
+    g.bits.push_back(std::move(b));
+    EXPECT_FALSE(isRoutable(validateDesign(testutil::makeDesign({g}))));
+}
+
+TEST(Validate, EmptyGroupIsError) {
+    SignalGroup g;
+    g.name = "empty";
+    EXPECT_FALSE(isRoutable(validateDesign(testutil::makeDesign({g}))));
+}
+
+TEST(Validate, DuplicatePinIsWarningOnly) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}, {14, 4}}, 2, 0, 1)});
+    const auto issues = validateDesign(d);
+    EXPECT_FALSE(issues.empty());
+    EXPECT_TRUE(isRoutable(issues));  // warnings don't block routing
+}
+
+TEST(Validate, OverWideGroupIsWarning) {
+    const Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 12, 0, 1)}, 32, 32, 4, 4);
+    const auto issues = validateDesign(d);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].severity, Severity::Warning);
+    EXPECT_TRUE(isRoutable(issues));
+}
+
+}  // namespace
+}  // namespace streak

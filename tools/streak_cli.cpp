@@ -1,0 +1,187 @@
+// streak — command-line front end for the Streak router.
+//
+//   streak generate <suite 1-7|spec> <out.streak>   write a benchmark
+//   streak info     <design.streak>                 print design stats
+//   streak route    <design.streak> [options]       route and report
+//
+// route options:
+//   --solver=pd|ilp        selection engine (default pd)
+//   --ilp-limit=<sec>      ILP time cap (default 60)
+//   --no-post              skip post optimization
+//   --no-clustering        post-opt without bottom-up clustering
+//   --no-refinement        post-opt without distance refinement
+//   --backbones=<k>        backbone candidates per object (default 4)
+//   --heatmap=<file.csv>   dump the congestion map as CSV
+//   --quiet                only the summary line
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+#include "core/validate.hpp"
+#include "io/design_io.hpp"
+#include "io/heatmap.hpp"
+#include "io/svg.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using namespace streak;
+
+int usage() {
+    std::cerr << "usage:\n"
+              << "  streak generate <suite 1-7> <out.streak>\n"
+              << "  streak info <design.streak>\n"
+              << "  streak route <design.streak> [--solver=pd|ilp]"
+                 " [--ilp-limit=SEC] [--no-post] [--no-clustering]"
+                 " [--no-refinement] [--backbones=K] [--heatmap=FILE]"
+                 " [--quiet]\n";
+    return 2;
+}
+
+int cmdGenerate(int argc, char** argv) {
+    if (argc != 4) return usage();
+    const int suite = std::atoi(argv[2]);
+    if (suite < 1 || suite > 7) {
+        std::cerr << "streak: suite index must be 1..7\n";
+        return 2;
+    }
+    const Design d = gen::makeSynth(suite);
+    io::writeDesignFile(d, argv[3]);
+    std::cout << "wrote " << argv[3] << " (" << d.numGroups() << " groups, "
+              << d.numNets() << " nets)\n";
+    return 0;
+}
+
+int cmdInfo(int argc, char** argv) {
+    if (argc != 3) return usage();
+    const Design d = io::readDesignFile(argv[2]);
+    io::Table t({"metric", "value"});
+    t.addRow({"grid", std::to_string(d.grid.width()) + " x " +
+                          std::to_string(d.grid.height()) + " x " +
+                          std::to_string(d.grid.numLayers())});
+    t.addRow({"signal groups", std::to_string(d.numGroups())});
+    t.addRow({"nets (bits)", std::to_string(d.numNets())});
+    t.addRow({"total pins", std::to_string(d.totalPins())});
+    t.addRow({"Np_max", std::to_string(d.maxPins())});
+    t.addRow({"W_max", std::to_string(d.maxWidth())});
+    t.print(std::cout);
+    const auto issues = validateDesign(d);
+    for (const ValidationIssue& i : issues) {
+        std::cout << (i.severity == ValidationIssue::Severity::Error
+                          ? "error: "
+                          : "warning: ")
+                  << i.message << '\n';
+    }
+    if (issues.empty()) std::cout << "design is clean\n";
+    return isRoutable(issues) ? 0 : 1;
+}
+
+int cmdRoute(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string path = argv[2];
+    StreakOptions opts;
+    opts.postOptimize = true;
+    opts.ilpTimeLimitSeconds = 60.0;
+    std::string heatmapPath;
+    std::string svgPath;
+    bool quiet = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg == "--solver=pd") {
+            opts.solver = SolverKind::PrimalDual;
+        } else if (arg == "--solver=ilp") {
+            opts.solver = SolverKind::Ilp;
+        } else if (arg == "--solver=hilp") {
+            opts.solver = SolverKind::IlpHierarchical;
+        } else if (arg.rfind("--ilp-limit=", 0) == 0) {
+            opts.ilpTimeLimitSeconds = std::atof(value("--ilp-limit=").c_str());
+        } else if (arg == "--no-post") {
+            opts.postOptimize = false;
+        } else if (arg == "--no-clustering") {
+            opts.clusteringEnabled = false;
+        } else if (arg == "--no-refinement") {
+            opts.refinementEnabled = false;
+        } else if (arg.rfind("--backbones=", 0) == 0) {
+            opts.backbone.maxBackbones =
+                std::atoi(value("--backbones=").c_str());
+        } else if (arg.rfind("--heatmap=", 0) == 0) {
+            heatmapPath = value("--heatmap=");
+        } else if (arg.rfind("--svg=", 0) == 0) {
+            svgPath = value("--svg=");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::cerr << "streak: unknown option " << arg << '\n';
+            return 2;
+        }
+    }
+
+    const Design d = io::readDesignFile(path);
+    const StreakResult r = runStreak(d, opts);
+
+    std::cout << "routed " << r.metrics.routedBits << "/"
+              << r.metrics.totalBits << " ("
+              << io::Table::percent(r.metrics.routability) << "), WL "
+              << r.metrics.wirelength << ", Avg(Reg) "
+              << io::Table::percent(r.metrics.avgRegularity) << ", Vio(dst) "
+              << r.distanceViolationsBefore << " -> "
+              << r.distanceViolationsAfter << ", overflow "
+              << r.metrics.totalOverflow << '\n';
+    if (!quiet) {
+        io::Table t({"stage", "seconds"});
+        t.addRow({"build (identify+candidates)",
+                  io::Table::fixed(r.buildSeconds, 3)});
+        const char* solverName =
+            opts.solver == SolverKind::Ilp               ? "solve (ILP)"
+            : opts.solver == SolverKind::IlpHierarchical ? "solve (hier. ILP)"
+                                                         : "solve (primal-dual)";
+        t.addRow({solverName,
+                  io::Table::fixed(r.solveSeconds, 3) +
+                      (r.hitTimeLimit ? " (limit)" : "")});
+        t.addRow({"post optimization", io::Table::fixed(r.postSeconds, 3)});
+        t.print(std::cout);
+        std::cout << "objects: " << r.problem.numObjects() << ", unrouted bits: "
+                  << r.routed.unroutedMembers.size() << '\n';
+    }
+    if (!heatmapPath.empty()) {
+        std::ofstream os(heatmapPath);
+        if (!os) {
+            std::cerr << "streak: cannot open " << heatmapPath << '\n';
+            return 1;
+        }
+        io::writeCsvHeatmap(r.routed.usage, os);
+        if (!quiet) std::cout << "wrote " << heatmapPath << '\n';
+    }
+    if (!svgPath.empty()) {
+        std::ofstream os(svgPath);
+        if (!os) {
+            std::cerr << "streak: cannot open " << svgPath << '\n';
+            return 1;
+        }
+        io::writeSvg(r.routed, os);
+        if (!quiet) std::cout << "wrote " << svgPath << '\n';
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "generate") return cmdGenerate(argc, argv);
+        if (cmd == "info") return cmdInfo(argc, argv);
+        if (cmd == "route") return cmdRoute(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << "streak: " << e.what() << '\n';
+        return 1;
+    }
+    return usage();
+}
