@@ -1,0 +1,39 @@
+// Deep auditors over the core routing state (DESIGN.md "Correctness
+// tooling"). Each returns an AuditResult listing every inconsistency
+// found; flow/solver stage boundaries run them through STREAK_DEEP_AUDIT.
+//
+// The implementations live in audit.cpp, which is compiled into
+// streak_core (the library owning the audited types) so the dependency
+// graph stays acyclic: check/assert.hpp itself depends on nothing.
+#pragma once
+
+#include "check/assert.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+
+namespace streak::check {
+
+/// Structural audit of a built RoutingProblem: object/group/candidate
+/// cross-references in range, candidate costs finite and non-negative,
+/// per-edge demand sorted with valid edge ids, pair blocks consistent
+/// with candidate-set sizes, pairsOf index closed.
+[[nodiscard]] AuditResult auditProblem(const RoutingProblem& prob);
+
+/// Audit a per-object solver solution: chosen candidate indices in range,
+/// accumulated track demand within every edge capacity, via demand within
+/// via capacity (when the via model is enabled), and the cached objective
+/// consistent with solutionObjective().
+[[nodiscard]] AuditResult auditSolution(const RoutingProblem& prob,
+                                        const RoutingSolution& sol);
+
+/// Audit a materialized (and possibly post-optimized) RoutedDesign: every
+/// routed bit's topology is connected and covers exactly its design pins
+/// on a valid layer pair, recorded per-edge usage equals the recomputed
+/// demand of all bit topologies edge by edge, nothing overflows capacity,
+/// and routed bits + unrouted members partition the object members.
+/// Via-slot usage is compared only when the grid's via model is enabled —
+/// the post stages do not maintain via bookkeeping otherwise.
+[[nodiscard]] AuditResult auditRoutedDesign(const RoutingProblem& prob,
+                                            const RoutedDesign& routed);
+
+}  // namespace streak::check

@@ -1,0 +1,29 @@
+// Deep auditors over the in-house LP/ILP substrate (DESIGN.md
+// "Correctness tooling"). Compiled into streak_ilp (the library owning
+// Model/Solution) so check/ stays dependency-free.
+#pragma once
+
+#include "check/assert.hpp"
+#include "ilp/model.hpp"
+
+namespace streak::check {
+
+/// Structural audit of a model before solving: finite objective
+/// coefficients, consistent bounds (integer variables binary), row
+/// coefficients referencing valid variables with finite values, finite
+/// right-hand sides, and no trivially unsatisfiable empty row — the
+/// shape the routing linearization (product terms of the quadratic
+/// regularity objective) must produce.
+[[nodiscard]] AuditResult auditIlpModel(const ilp::Model& model);
+
+/// Audit an LP/ILP solution against its model: value vector sized to the
+/// model, every value finite and within bounds, every row primal-feasible
+/// within epsilon, integrality respected for integer variables (when the
+/// solution claims to be integral), and the reported objective equal to
+/// c^T x + constant within epsilon. Solutions without values (Infeasible
+/// / Unbounded / Limit) audit clean by definition.
+[[nodiscard]] AuditResult auditLp(const ilp::Model& model,
+                                  const ilp::Solution& solution,
+                                  bool requireIntegral = false);
+
+}  // namespace streak::check

@@ -5,6 +5,8 @@
 #include <map>
 #include <numeric>
 
+#include "check/audit.hpp"
+#include "check/ilp_audit.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "ilp/model.hpp"
 
@@ -135,6 +137,10 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
 
     IlpRouteResult result;
     if (warmStart != nullptr) {
+        STREAK_REQUIRE(static_cast<int>(warmStart->chosen.size()) ==
+                           prob.numObjects(),
+                       "warm start covers {} objects, problem has {}",
+                       warmStart->chosen.size(), prob.numObjects());
         result.solution.chosen = warmStart->chosen;
     } else {
         result.solution.chosen.assign(static_cast<size_t>(prob.numObjects()),
@@ -265,6 +271,11 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
             }
         }
 
+        // The model as built must be structurally sound: the product-term
+        // linearization only references x variables of this component and
+        // every capacity row a valid candidate demand.
+        STREAK_DEEP_AUDIT(check::auditIlpModel(model));
+
         const double left = remaining();
         if (left <= 0.0) {
             // Out of budget: the warm-start assignment (or non-route)
@@ -297,6 +308,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
     result.solution.hitLimit = result.hitTimeLimit;
     result.solution.objective =
         solutionObjective(prob, result.solution.chosen);
+    STREAK_DEEP_AUDIT(check::auditSolution(prob, result.solution));
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/audit.hpp"
 #include "grid/routing_grid.hpp"
 
 namespace streak {
@@ -67,6 +68,9 @@ public:
 
             // Line 7: commit; the dual objective rises by the admitted
             // cost (alpha_{ij} hits its constraint (6b) bound).
+            STREAK_ASSERT(!decided_[static_cast<size_t>(bestObj)],
+                          "object {} picked twice by the primal-dual loop",
+                          bestObj);
             ++result.iterations;
             result.dualBound +=
                 minAliveBaseCost(bestObj);  // certified per-object bound
@@ -92,6 +96,13 @@ public:
 
         result.solution.chosen = chosen_;
         result.solution.objective = solutionObjective(prob_, chosen_);
+        // The dual bound certifies weak duality; a violation means the
+        // capacity pruning admitted an infeasible pick somewhere.
+        STREAK_INVARIANT(
+            result.dualBound <= result.solution.objective + 1e-6,
+            "dual bound {} exceeds primal objective {} after {} iterations",
+            result.dualBound, result.solution.objective, result.iterations);
+        STREAK_DEEP_AUDIT(check::auditSolution(prob_, result.solution));
         return result;
     }
 

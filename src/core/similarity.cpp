@@ -1,13 +1,14 @@
 #include "core/similarity.hpp"
 
-#include <cassert>
+#include "check/assert.hpp"
 
 namespace streak {
 
 int directionIndex(geom::Point from, geom::Point to) {
     const int dx = to.x - from.x;
     const int dy = to.y - from.y;
-    assert(dx != 0 || dy != 0);
+    STREAK_ASSERT(dx != 0 || dy != 0,
+                  "direction of zero-length move at ({},{})", from.x, from.y);
     if (dy == 0) return dx > 0 ? 0 : 4;
     if (dx == 0) return dy > 0 ? 2 : 6;
     if (dx > 0) return dy > 0 ? 1 : 7;

@@ -1,6 +1,7 @@
 #include "core/validate.hpp"
 
 #include <set>
+#include <unordered_map>
 
 namespace streak {
 
@@ -17,6 +18,11 @@ void add(std::vector<ValidationIssue>* issues, Severity sev,
 
 std::vector<ValidationIssue> validateDesign(const Design& design) {
     std::vector<ValidationIssue> issues;
+
+    // First group (by index) that claimed each pin location. Two groups
+    // contending for one pin is usually a netlist extraction bug and at
+    // best forces both through the same congested G-Cell.
+    std::unordered_map<geom::Point, size_t> pinOwner;
 
     int maxCapacity = 0;
     for (int e = 0; e < design.grid.numEdges(); ++e) {
@@ -66,6 +72,13 @@ std::vector<ValidationIssue> validateDesign(const Design& design) {
                         bitWhere + " has duplicate pin (" +
                             std::to_string(p.x) + "," + std::to_string(p.y) +
                             ")");
+                }
+                const auto [owner, fresh] = pinOwner.emplace(p, g);
+                if (!fresh && owner->second != g) {
+                    add(&issues, Severity::Warning,
+                        bitWhere + " pin (" + std::to_string(p.x) + "," +
+                            std::to_string(p.y) + ") is also used by group '" +
+                            design.groups[owner->second].name + "'");
                 }
             }
         }

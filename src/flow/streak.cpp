@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "check/audit.hpp"
 #include "core/hier_ilp.hpp"
 #include "core/ilp_router.hpp"
 #include "core/pd_solver.hpp"
@@ -35,6 +36,7 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
         result.problem = buildProblem(design, opts);
         result.buildSeconds = sw.seconds();
     }
+    STREAK_DEEP_AUDIT(check::auditProblem(result.problem));
 
     {
         const Stopwatch sw;
@@ -62,8 +64,11 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
         }
         result.solveSeconds = sw.seconds();
     }
+    STREAK_DEEP_AUDIT(
+        check::auditSolution(result.problem, result.solverSolution));
 
     result.routed = materialize(result.problem, result.solverSolution);
+    STREAK_DEEP_AUDIT(check::auditRoutedDesign(result.problem, result.routed));
 
     {
         const Stopwatch sw;
@@ -75,6 +80,8 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
         if (opts.postOptimize) {
             if (opts.clusteringEnabled) {
                 post::clusterAndRoute(result.problem, &result.routed);
+                STREAK_DEEP_AUDIT(
+                    check::auditRoutedDesign(result.problem, result.routed));
             }
             if (opts.refinementEnabled) {
                 const post::RefinementResult ref =
@@ -95,6 +102,7 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
         }
         result.postSeconds = sw.seconds();
     }
+    STREAK_DEEP_AUDIT(check::auditRoutedDesign(result.problem, result.routed));
 
     result.metrics = evaluate(result.problem, result.routed);
     return result;

@@ -6,9 +6,9 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <optional>
 
+#include "check/assert.hpp"
 #include "geom/point.hpp"
 
 namespace streak::geom {
@@ -34,7 +34,9 @@ struct Segment {
 
     /// True if lattice point `p` lies on this (rectilinear) segment.
     [[nodiscard]] bool covers(Point p) const {
-        assert(rectilinear());
+        STREAK_ASSERT(rectilinear(),
+                      "covers() on diagonal segment ({},{})-({},{})",
+                      a.x, a.y, b.x, b.y);
         const Segment c = canonical();
         if (horizontal()) {
             return p.y == a.y && p.x >= c.a.x && p.x <= c.b.x;

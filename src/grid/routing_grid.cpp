@@ -78,12 +78,14 @@ void RoutingGrid::appendEdgesOnSegment(const geom::Segment& seg, int layer,
     if (seg.degenerate()) return;
     const geom::Segment c = seg.canonical();
     if (c.horizontal()) {
-        assert(layerDir_[layer] == Dir::Horizontal);
+        STREAK_ASSERT(layerDir_[layer] == Dir::Horizontal,
+                      "horizontal segment routed on vertical layer {}", layer);
         for (int x = c.a.x; x < c.b.x; ++x) {
             out->push_back(edgeId(layer, x, c.a.y));
         }
     } else {
-        assert(layerDir_[layer] == Dir::Vertical);
+        STREAK_ASSERT(layerDir_[layer] == Dir::Vertical,
+                      "vertical segment routed on horizontal layer {}", layer);
         for (int y = c.a.y; y < c.b.y; ++y) {
             out->push_back(edgeId(layer, c.a.x, y));
         }

@@ -5,10 +5,10 @@
 // only (x,y)-(x,y+1). Every edge has a track capacity; blockages lower it.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
 
+#include "check/assert.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
 #include "geom/segment.hpp"
@@ -46,7 +46,9 @@ public:
     /// Edge id for the edge leaving G-Cell (x, y) in the layer's direction:
     /// (x,y)-(x+1,y) on horizontal layers, (x,y)-(x,y+1) on vertical ones.
     [[nodiscard]] int edgeId(int layer, int x, int y) const {
-        assert(validEdge(layer, x, y));
+        STREAK_ASSERT(validEdge(layer, x, y),
+                      "edge (layer {}, {},{}) outside the {}x{}x{} grid",
+                      layer, x, y, width_, height_, numLayers_);
         const int stride =
             layerDir_[layer] == Dir::Horizontal ? width_ - 1 : width_;
         return layerOffset_[layer] + y * stride + x;
@@ -141,7 +143,9 @@ public:
     void add(int edge, int amount) { usage_[edge] += amount; }
     void remove(int edge, int amount) {
         usage_[edge] -= amount;
-        assert(usage_[edge] >= 0);
+        STREAK_ASSERT(usage_[edge] >= 0,
+                      "edge {} usage went negative ({}) after removing {}",
+                      edge, usage_[edge], amount);
     }
 
     // Via-slot accounting (active when the grid's via model is enabled).
@@ -159,7 +163,9 @@ public:
     }
     void removeVias(int cell, int amount) {
         viaUsage_[static_cast<size_t>(cell)] -= amount;
-        assert(viaUsage_[static_cast<size_t>(cell)] >= 0);
+        STREAK_ASSERT(viaUsage_[static_cast<size_t>(cell)] >= 0,
+                      "cell {} via usage went negative ({}) after removing {}",
+                      cell, viaUsage_[static_cast<size_t>(cell)], amount);
     }
 
     /// Total overflow: sum over edges of max(usage - capacity, 0).

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "check/ilp_audit.hpp"
 #include "ilp/lp.hpp"
 
 namespace streak::ilp {
@@ -77,6 +78,9 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
 
         const Model sub = applyFixings(model, node.fixed);
         const Solution lp = solveLp(sub);
+        // Basis sanity / primal feasibility of every relaxation the tree
+        // trusts for pruning decisions.
+        STREAK_DEEP_AUDIT(check::auditLp(sub, lp));
         if (lp.status == SolveStatus::Infeasible) continue;
         if (lp.status == SolveStatus::Unbounded) {
             Solution out;

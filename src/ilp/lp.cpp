@@ -1,9 +1,10 @@
 #include "ilp/lp.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "check/assert.hpp"
 
 namespace streak::ilp {
 
@@ -97,7 +98,7 @@ private:
         for (int r = 0; r < m_; ++r) {
             const double cb =
                 cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
-            if (cb == 0.0) continue;
+            if (cb == 0.0) continue;  // lint-ok: float-equality
             const auto& row = a_[static_cast<size_t>(r)];
             for (size_t c = 0; c < total; ++c) red_[c] -= cb * row[c];
         }
@@ -143,7 +144,9 @@ private:
     void pivot(int row, int col) {
         auto& prow = a_[static_cast<size_t>(row)];
         const double pv = prow[static_cast<size_t>(col)];
-        assert(std::abs(pv) > kEps);
+        STREAK_ASSERT(std::abs(pv) > kEps,
+                      "pivot on near-zero element {} at row {}, column {}",
+                      pv, row, col);
         const size_t width = prow.size();
         for (double& v : prow) v /= pv;
         b_[static_cast<size_t>(row)] /= pv;
@@ -151,14 +154,14 @@ private:
             if (r == row) continue;
             auto& rr = a_[static_cast<size_t>(r)];
             const double factor = rr[static_cast<size_t>(col)];
-            if (factor == 0.0) continue;
+            if (factor == 0.0) continue;  // lint-ok: float-equality
             for (size_t c = 0; c < width; ++c) rr[c] -= factor * prow[c];
             rr[static_cast<size_t>(col)] = 0.0;  // fight round-off drift
             b_[static_cast<size_t>(r)] -= factor * b_[static_cast<size_t>(row)];
         }
         if (!red_.empty()) {
             const double factor = red_[static_cast<size_t>(col)];
-            if (factor != 0.0) {
+            if (factor != 0.0) {  // lint-ok: float-equality
                 for (size_t c = 0; c < width; ++c) red_[c] -= factor * prow[c];
                 red_[static_cast<size_t>(col)] = 0.0;
             }

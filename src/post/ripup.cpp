@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "check/audit.hpp"
 #include "grid/routing_grid.hpp"
 
 namespace streak::post {
@@ -149,6 +150,9 @@ RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
         if (sol->chosen[static_cast<size_t>(v)] < 0) ++result.objectsLost;
     }
     sol->objective = solutionObjective(prob, sol->chosen);
+    // Rip-up must hand back a capacity-feasible assignment no matter how
+    // the domino cascade ended.
+    STREAK_DEEP_AUDIT(check::auditSolution(prob, *sol));
     return result;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "check/assert.hpp"
+
 namespace streak::route {
 
 namespace {
@@ -22,6 +24,14 @@ struct QueueEntry {
 std::optional<RoutedNet> MazeRouter::route(const std::vector<geom::Point>& pins,
                                            int driver) {
     const grid::RoutingGrid& g = usage_->grid();
+    STREAK_REQUIRE(!pins.empty(), "maze route called with no pins");
+    STREAK_REQUIRE(driver >= 0 && driver < static_cast<int>(pins.size()),
+                   "driver index {} outside the {} pins", driver, pins.size());
+    for (const geom::Point p : pins) {
+        STREAK_REQUIRE(g.contains(p),
+                       "pin ({},{}) outside the {}x{} grid", p.x, p.y,
+                       g.width(), g.height());
+    }
     const int W = g.width();
     const int H = g.height();
     const int L = g.numLayers();

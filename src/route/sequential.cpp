@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "check/assert.hpp"
 #include "steiner/rsmt.hpp"
 
 namespace streak::route {
@@ -90,6 +91,14 @@ SequentialResult routeSequential(const Design& design,
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     result.seconds = elapsed.count();
+    STREAK_ASSERT(result.routedBits <= result.totalBits,
+                  "routed {} of {} bits", result.routedBits, result.totalBits);
+    // Unless overflow is an explicitly modelled hand-design behaviour,
+    // the committed usage must respect every track capacity.
+    STREAK_INVARIANT(opts.allowOverflow || result.usage.totalOverflow() == 0,
+                     "sequential router overflowed {} tracks across {} edges",
+                     result.usage.totalOverflow(),
+                     result.usage.overflowedEdges());
     return result;
 }
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "check/assert.hpp"
 
 namespace streak::steiner {
 
@@ -35,7 +36,8 @@ std::vector<std::pair<int, int>> rectilinearMST(
                 pickCost = best[static_cast<size_t>(v)];
             }
         }
-        assert(pick >= 0);
+        STREAK_ASSERT(pick >= 0,
+                      "Prim step {} of {} found no reachable point", added, n);
         inTree[static_cast<size_t>(pick)] = true;
         edges.emplace_back(parent[static_cast<size_t>(pick)], pick);
         for (int v = 0; v < n; ++v) {

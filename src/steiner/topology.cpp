@@ -1,9 +1,10 @@
 #include "steiner/topology.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <stdexcept>
+
+#include "check/assert.hpp"
 
 namespace streak::steiner {
 
@@ -42,7 +43,9 @@ Topology::Topology(std::vector<geom::Point> pins, int driver)
 }
 
 void Topology::addSegment(const geom::Segment& seg) {
-    assert(seg.rectilinear());
+    STREAK_ASSERT(seg.rectilinear(),
+                  "addSegment with diagonal ({},{})-({},{})",
+                  seg.a.x, seg.a.y, seg.b.x, seg.b.y);
     const geom::Segment c = seg.canonical();
     if (c.horizontal()) {
         for (int x = c.a.x; x < c.b.x; ++x) wire_.insert({{x, c.a.y}, true});
@@ -52,14 +55,18 @@ void Topology::addSegment(const geom::Segment& seg) {
 }
 
 void Topology::addLShape(geom::Point a, geom::Point b, geom::Point corner) {
-    assert((corner.x == a.x && corner.y == b.y) ||
-           (corner.x == b.x && corner.y == a.y));
+    STREAK_ASSERT((corner.x == a.x && corner.y == b.y) ||
+                      (corner.x == b.x && corner.y == a.y),
+                  "corner ({},{}) not on the bend of ({},{})-({},{})",
+                  corner.x, corner.y, a.x, a.y, b.x, b.y);
     addSegment({a, corner});
     addSegment({corner, b});
 }
 
 void Topology::removeSegment(const geom::Segment& seg) {
-    assert(seg.rectilinear());
+    STREAK_ASSERT(seg.rectilinear(),
+                  "removeSegment with diagonal ({},{})-({},{})",
+                  seg.a.x, seg.a.y, seg.b.x, seg.b.y);
     const geom::Segment c = seg.canonical();
     if (c.horizontal()) {
         for (int x = c.a.x; x < c.b.x; ++x) wire_.erase({{x, c.a.y}, true});

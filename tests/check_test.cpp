@@ -1,0 +1,420 @@
+// Tests for the correctness-tooling layer (src/check/): the contract
+// macros, the tiny formatter, and the deep auditors — both that healthy
+// pipeline state audits clean and that deliberate corruptions are
+// rejected with contextual messages.
+#include "check/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "check/audit.hpp"
+#include "check/ilp_audit.hpp"
+#include "core/pd_solver.hpp"
+#include "flow/streak.hpp"
+#include "ilp/lp.hpp"
+#include "test_util.hpp"
+
+namespace streak {
+namespace {
+
+/// Route check failures into CheckFailure exceptions and pin the runtime
+/// level for the duration of a test, restoring both on exit.
+class CheckGuard {
+public:
+    explicit CheckGuard(check::Level level)
+        : prevHandler_(check::setFailureHandler(check::throwingFailureHandler)),
+          prevLevel_(check::runtimeLevel()) {
+        check::setRuntimeLevel(level);
+    }
+    ~CheckGuard() {
+        check::setRuntimeLevel(prevLevel_);
+        check::setFailureHandler(prevHandler_);
+    }
+    CheckGuard(const CheckGuard&) = delete;
+    CheckGuard& operator=(const CheckGuard&) = delete;
+
+private:
+    check::FailureHandler prevHandler_;
+    check::Level prevLevel_;
+};
+
+/// Run `fn`, require it to fail a check, and return the failure message.
+template <typename Fn>
+std::string failureMessage(Fn&& fn) {
+    try {
+        fn();
+    } catch (const check::CheckFailure& e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected a check failure, none was raised";
+    return {};
+}
+
+Design pipelineDesign() {
+    return testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 4, 0, 1, "bus_a"),
+         testutil::makeBusGroup({{20, 20}, {8, 26}}, 3, 1, 0, "bus_b")});
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(CheckFormat, SubstitutesPlaceholdersInOrder) {
+    EXPECT_EQ(check::format("edge {} on layer {}", 17, 2),
+              "edge 17 on layer 2");
+    EXPECT_EQ(check::format("no args"), "no args");
+    EXPECT_EQ(check::format(""), "");
+}
+
+TEST(CheckFormat, SurplusArgumentsAreAppendedNotDropped) {
+    EXPECT_EQ(check::format("x = {}", 1, 2, 3), "x = 1 [2, 3]");
+}
+
+TEST(CheckFormat, MissingArgumentsLeavePlaceholder) {
+    EXPECT_EQ(check::format("a {} b {}", 1), "a 1 b {}");
+}
+
+TEST(CheckFormat, ApproxEqualIsRelativeAboveOne) {
+    EXPECT_TRUE(check::approxEqual(1e12, 1e12 * (1 + 1e-12)));
+    EXPECT_FALSE(check::approxEqual(1e12, 1e12 + 1e4));
+    EXPECT_TRUE(check::approxEqual(0.0, 1e-10));
+    EXPECT_FALSE(check::approxEqual(0.0, 1e-3));
+}
+
+// ---------------------------------------------------------------- macros
+
+TEST(CheckMacros, PassingChecksAreSilent) {
+    CheckGuard guard(check::Level::Deep);
+    STREAK_ASSERT(1 + 1 == 2);
+    STREAK_REQUIRE(true, "never shown");
+    STREAK_INVARIANT(true, "never shown");
+}
+
+TEST(CheckMacros, FailureMessageCarriesContext) {
+    CheckGuard guard(check::Level::Cheap);
+    const int edge = 42;
+    const std::string msg = failureMessage([&] {
+        STREAK_ASSERT(edge < 0, "edge {} usage went negative", edge);
+    });
+    EXPECT_NE(msg.find("assertion failed"), std::string::npos);
+    EXPECT_NE(msg.find("edge < 0"), std::string::npos);
+    EXPECT_NE(msg.find("edge 42 usage went negative"), std::string::npos);
+    EXPECT_NE(msg.find("check_test.cpp"), std::string::npos);
+}
+
+TEST(CheckMacros, RequireReportsAsPrecondition) {
+    CheckGuard guard(check::Level::Cheap);
+    const std::string msg =
+        failureMessage([] { STREAK_REQUIRE(false, "bad call"); });
+    EXPECT_NE(msg.find("precondition failed"), std::string::npos);
+    EXPECT_NE(msg.find("bad call"), std::string::npos);
+}
+
+TEST(CheckMacros, InvariantOnlyFiresAtDeepLevel) {
+    {
+        CheckGuard guard(check::Level::Cheap);
+        STREAK_INVARIANT(false, "must not fire at cheap");
+    }
+    CheckGuard guard(check::Level::Deep);
+    const std::string msg = failureMessage(
+        [] { STREAK_INVARIANT(false, "deep violation {}", 7); });
+    EXPECT_NE(msg.find("invariant failed"), std::string::npos);
+    EXPECT_NE(msg.find("deep violation 7"), std::string::npos);
+}
+
+TEST(CheckMacros, DeepAuditSkippedBelowDeepLevel) {
+    CheckGuard guard(check::Level::Cheap);
+    bool evaluated = false;
+    const auto corrupt = [&] {
+        evaluated = true;
+        check::AuditResult r;
+        r.addf("should never be enforced");
+        return r;
+    };
+    STREAK_DEEP_AUDIT(corrupt());
+    EXPECT_FALSE(evaluated);  // the audit expression is not even evaluated
+}
+
+TEST(CheckMacros, RuntimeLevelIsAdjustable) {
+    CheckGuard guard(check::Level::Deep);
+    EXPECT_TRUE(check::deepChecksEnabled());
+    check::setRuntimeLevel(check::Level::Cheap);
+    EXPECT_FALSE(check::deepChecksEnabled());
+}
+
+// ---------------------------------------------------------- audit results
+
+TEST(AuditResult, SummaryListsSubjectAndIssues) {
+    check::AuditResult r;
+    r.subject = "solution";
+    r.addf("edge {} over capacity", 3);
+    r.addf("object {} unaccounted", 9);
+    const std::string s = r.summary();
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(s.find("solution: 2 issue(s)"), std::string::npos);
+    EXPECT_NE(s.find("edge 3 over capacity"), std::string::npos);
+    EXPECT_NE(s.find("object 9 unaccounted"), std::string::npos);
+}
+
+TEST(AuditResult, StopsCollectingWhenFull) {
+    check::AuditResult r;
+    for (int i = 0; i < 200; ++i) r.addf("issue {}", i);
+    EXPECT_TRUE(r.full());
+    EXPECT_EQ(r.issues.size(), check::AuditResult::kMaxIssues);
+    EXPECT_NE(r.summary(4).find("more"), std::string::npos);
+}
+
+// --------------------------------------------------------- problem audit
+
+TEST(AuditProblem, BuiltProblemAuditsClean) {
+    const Design d = pipelineDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    const check::AuditResult r = check::auditProblem(prob);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditProblem, CorruptGroupIndexIsReported) {
+    const Design d = pipelineDesign();
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    ASSERT_GT(prob.numObjects(), 0);
+    prob.objects[0].groupIndex = 99;
+    const check::AuditResult r = check::auditProblem(prob);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("group index 99 out of range"),
+              std::string::npos);
+}
+
+TEST(AuditProblem, NegativeCandidateCostIsReported) {
+    const Design d = pipelineDesign();
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    ASSERT_FALSE(prob.candidates.empty());
+    ASSERT_FALSE(prob.candidates[0].empty());
+    prob.candidates[0][0].cost = -1.0;
+    const check::AuditResult r = check::auditProblem(prob);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("cost -1 not finite and >= 0"),
+              std::string::npos);
+}
+
+// -------------------------------------------------------- solution audit
+
+TEST(AuditSolution, PrimalDualSolutionAuditsClean) {
+    const Design d = pipelineDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    const PdResult pd = solvePrimalDual(prob);
+    const check::AuditResult r = check::auditSolution(prob, pd.solution);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditSolution, OutOfRangeChoiceIsReported) {
+    const Design d = pipelineDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution sol = solvePrimalDual(prob).solution;
+    sol.chosen[0] = 99;
+    const check::AuditResult r = check::auditSolution(prob, sol);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("chosen candidate 99 out of range"),
+              std::string::npos);
+}
+
+TEST(AuditSolution, TamperedObjectiveIsReported) {
+    const Design d = pipelineDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution sol = solvePrimalDual(prob).solution;
+    sol.objective += 123.0;
+    const check::AuditResult r = check::auditSolution(prob, sol);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("cached objective"), std::string::npos);
+}
+
+TEST(AuditSolution, CapacityOverflowIsReportedWithEdgeContext) {
+    Design d = pipelineDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    const RoutingSolution sol = solvePrimalDual(prob).solution;
+    // Choke an edge the solution actually uses; the audit must name it.
+    int usedEdge = -1;
+    for (size_t i = 0; i < sol.chosen.size() && usedEdge < 0; ++i) {
+        const int j = sol.chosen[i];
+        if (j < 0) continue;
+        const auto& use = prob.candidates[i][static_cast<size_t>(j)].edgeUse;
+        if (!use.empty()) usedEdge = use.front().first;
+    }
+    ASSERT_GE(usedEdge, 0) << "solution routes nothing";
+    d.grid.setCapacity(usedEdge, 0);
+    const check::AuditResult r = check::auditSolution(prob, sol);
+    ASSERT_FALSE(r.ok());
+    const std::string s = r.summary();
+    EXPECT_NE(s.find(check::format("edge {}", usedEdge)), std::string::npos);
+    EXPECT_NE(s.find("exceeds capacity 0"), std::string::npos);
+}
+
+// --------------------------------------------------- routed-design audit
+
+TEST(AuditRoutedDesign, StreakFlowOutputAuditsClean) {
+    const Design d = pipelineDesign();
+    StreakOptions opts;
+    opts.postOptimize = true;
+    const StreakResult res = runStreak(d, opts);
+    const check::AuditResult r =
+        check::auditRoutedDesign(res.problem, res.routed);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditRoutedDesign, TamperedUsageIsReported) {
+    const Design d = pipelineDesign();
+    const StreakResult res = runStreak(d, StreakOptions{});
+    RoutedDesign routed = res.routed;
+    routed.usage.add(0, 1);  // phantom track no topology explains
+    const check::AuditResult r =
+        check::auditRoutedDesign(res.problem, routed);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("recomputed from bit topologies"),
+              std::string::npos);
+}
+
+TEST(AuditRoutedDesign, DroppedBitIsReported) {
+    const Design d = pipelineDesign();
+    const StreakResult res = runStreak(d, StreakOptions{});
+    RoutedDesign routed = res.routed;
+    ASSERT_FALSE(routed.bits.empty());
+    routed.bits.pop_back();  // a member is now accounted for zero times
+    const check::AuditResult r =
+        check::auditRoutedDesign(res.problem, routed);
+    ASSERT_FALSE(r.ok());
+    // The usage mismatches the dropped bit leaves behind are reported
+    // first; the coverage finding must still be in the full issue list.
+    bool found = false;
+    for (const std::string& issue : r.issues) {
+        found |= issue.find("accounted 0 times") != std::string::npos;
+    }
+    EXPECT_TRUE(found) << r.summary(check::AuditResult::kMaxIssues);
+}
+
+TEST(AuditRoutedDesign, CorruptedTopologyIsReported) {
+    const Design d = pipelineDesign();
+    const StreakResult res = runStreak(d, StreakOptions{});
+    RoutedDesign routed = res.routed;
+    ASSERT_FALSE(routed.bits.empty());
+    // Remove one unit of wire: the topology disconnects (and the recorded
+    // usage no longer matches the recomputed demand).
+    steiner::Topology& topo = routed.bits[0].topo;
+    ASSERT_FALSE(topo.wire().empty());
+    const steiner::UnitEdge e = *topo.wire().begin();
+    const geom::Point to =
+        e.horizontal ? geom::Point{e.at.x + 1, e.at.y}
+                     : geom::Point{e.at.x, e.at.y + 1};
+    topo.removeSegment({e.at, to});
+    const check::AuditResult r =
+        check::auditRoutedDesign(res.problem, routed);
+    ASSERT_FALSE(r.ok());
+}
+
+// ------------------------------------------------------------ ILP audits
+
+TEST(AuditIlp, WellFormedModelAndLpSolutionAuditClean) {
+    // min x0 + x1  s.t.  x0 + x1 >= 1,  x0 <= 0.6 (binary x1).
+    ilp::Model m;
+    const int x0 = m.addVariable(1.0, /*integer=*/false, 0.0, 0.6);
+    const int x1 = m.addVariable(1.0, /*integer=*/true, 0.0, 1.0);
+    m.addRow({{x0, 1.0}, {x1, 1.0}}, ilp::Sense::GreaterEqual, 1.0);
+    EXPECT_TRUE(check::auditIlpModel(m).ok());
+
+    const ilp::Solution lp = ilp::solveLp(m);
+    ASSERT_TRUE(lp.hasSolution());
+    const check::AuditResult r = check::auditLp(m, lp);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditIlp, NonFiniteObjectiveCoefficientIsReported) {
+    // Model::addVariable already rejects non-binary integer bounds; a NaN
+    // cost is the structural defect that can still slip through the
+    // builder, so that is what the audit must catch.
+    ilp::Model m;
+    m.addVariable(std::numeric_limits<double>::quiet_NaN(),
+                  /*integer=*/false);
+    const check::AuditResult r = check::auditIlpModel(m);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("objective coefficient"), std::string::npos);
+    EXPECT_NE(r.summary().find("not finite"), std::string::npos);
+}
+
+TEST(AuditIlp, RowReferencingUnknownVariableIsReported) {
+    ilp::Model m;
+    m.addVariable(1.0, /*integer=*/false);
+    m.addRow({{5, 1.0}}, ilp::Sense::LessEqual, 1.0);
+    const check::AuditResult r = check::auditIlpModel(m);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("outside [0,1)"), std::string::npos);
+}
+
+TEST(AuditIlp, InfeasibleValuesAreReported) {
+    ilp::Model m;
+    const int x0 = m.addVariable(1.0, /*integer=*/false, 0.0, 1.0);
+    m.addRow({{x0, 1.0}}, ilp::Sense::GreaterEqual, 1.0);
+    ilp::Solution sol;
+    sol.status = ilp::SolveStatus::Optimal;
+    sol.values = {0.0};  // violates the >= 1 row
+    sol.objective = 0.0;
+    const check::AuditResult r = check::auditLp(m, sol);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("violates rhs 1"), std::string::npos);
+}
+
+TEST(AuditIlp, MisreportedObjectiveIsReported) {
+    ilp::Model m;
+    const int x0 = m.addVariable(2.0, /*integer=*/false, 0.0, 1.0);
+    m.addRow({{x0, 1.0}}, ilp::Sense::GreaterEqual, 1.0);
+    ilp::Solution sol;
+    sol.status = ilp::SolveStatus::Optimal;
+    sol.values = {1.0};
+    sol.objective = 0.5;  // really 2.0
+    const check::AuditResult r = check::auditLp(m, sol);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("recomputed c^T x"), std::string::npos);
+}
+
+TEST(AuditIlp, SolutionsWithoutValuesAuditClean) {
+    ilp::Model m;
+    m.addVariable(1.0, /*integer=*/false);
+    ilp::Solution sol;  // status Limit: nothing claimed
+    EXPECT_TRUE(check::auditLp(m, sol).ok());
+}
+
+// -------------------------------------------- deep audits in the pipeline
+
+TEST(DeepAudit, FullStreakFlowPassesUnderDeepChecks) {
+    CheckGuard guard(check::Level::Deep);
+    const Design d = pipelineDesign();
+    StreakOptions opts;
+    opts.postOptimize = true;
+    // Every STREAK_DEEP_AUDIT stage boundary in the flow now runs; a
+    // throw here means the pipeline handed corrupt state downstream.
+    const StreakResult res = runStreak(d, opts);
+    EXPECT_GT(res.routed.routedBits(), 0);
+}
+
+TEST(DeepAudit, IlpSolverPassesUnderDeepChecks) {
+    CheckGuard guard(check::Level::Deep);
+    const Design d = pipelineDesign();
+    StreakOptions opts;
+    opts.solver = SolverKind::Ilp;
+    const StreakResult res = runStreak(d, opts);
+    EXPECT_GT(res.routed.routedBits(), 0);
+}
+
+TEST(DeepAudit, CorruptedSolutionIsRejectedAtStageBoundary) {
+    CheckGuard guard(check::Level::Deep);
+    const Design d = pipelineDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    RoutingSolution sol = solvePrimalDual(prob).solution;
+    sol.chosen[0] = 99;
+    const std::string msg = failureMessage(
+        [&] { STREAK_DEEP_AUDIT(check::auditSolution(prob, sol)); });
+    EXPECT_NE(msg.find("audit failed"), std::string::npos);
+    EXPECT_NE(msg.find("chosen candidate 99 out of range"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace streak

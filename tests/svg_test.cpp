@@ -10,7 +10,7 @@
 namespace streak::io {
 namespace {
 
-RoutedDesign routedFixture(const Design& d, const RoutingProblem& prob) {
+RoutedDesign routedFixture(const Design&, const RoutingProblem& prob) {
     return materialize(prob, solvePrimalDual(prob).solution);
 }
 

@@ -13,7 +13,7 @@ namespace {
 
 using geom::Point;
 
-RoutedDesign route(const Design& d, const RoutingProblem& prob) {
+RoutedDesign route(const Design&, const RoutingProblem& prob) {
     return materialize(prob, solvePrimalDual(prob).solution);
 }
 

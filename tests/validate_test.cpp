@@ -73,6 +73,50 @@ TEST(Validate, DuplicatePinIsWarningOnly) {
     EXPECT_TRUE(isRoutable(issues));  // warnings don't block routing
 }
 
+TEST(Validate, NegativeDriverIndexIsError) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 2, 0, 1)});
+    d.groups[0].bits[0].driver = -1;
+    const auto issues = validateDesign(d);
+    EXPECT_EQ(countErrors(issues), 1);
+    EXPECT_FALSE(isRoutable(issues));
+}
+
+TEST(Validate, DuplicatePinAcrossGroupsIsWarning) {
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 2, 0, 1, "bus_a"),
+         testutil::makeBusGroup({{2, 4}, {20, 8}}, 2, 0, 1, "bus_b")});
+    const auto issues = validateDesign(d);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(countErrors(issues), 0);
+    EXPECT_TRUE(isRoutable(issues));  // suspicious, not fatal
+    bool mentionsOwner = false;
+    for (const auto& i : issues) {
+        mentionsOwner |= i.message.find("also used by group 'bus_a'") !=
+                         std::string::npos;
+    }
+    EXPECT_TRUE(mentionsOwner);
+}
+
+TEST(Validate, DistinctGroupsShareNoPinWarning) {
+    const Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 2, 0, 1, "bus_a"),
+         testutil::makeBusGroup({{2, 10}, {14, 10}}, 2, 0, 1, "bus_b")});
+    EXPECT_TRUE(validateDesign(d).empty());
+}
+
+TEST(Validate, GroupWiderThanEveryLayerIsWarning) {
+    // Capacity 3 everywhere, group of 8 bits: no single edge can carry the
+    // whole bus, which the validator flags before any routing is attempted.
+    const Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {14, 4}}, 8, 0, 1)}, 32, 32, 4, 3);
+    const auto issues = validateDesign(d);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].severity, Severity::Warning);
+    EXPECT_NE(issues[0].message.find("wider"), std::string::npos);
+    EXPECT_TRUE(isRoutable(issues));
+}
+
 TEST(Validate, OverWideGroupIsWarning) {
     const Design d = testutil::makeDesign(
         {testutil::makeBusGroup({{2, 4}, {14, 4}}, 12, 0, 1)}, 32, 32, 4, 4);

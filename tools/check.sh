@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Correctness-tooling driver (DESIGN.md "Correctness tooling"):
+#
+#   1. project lint pass            (tools/streak_lint over src/)
+#   2. clang-tidy curated ruleset   (skipped when clang-tidy is absent)
+#   3. -Werror build                (CMake preset `werror`)
+#   4. sanitizer smoke test         (preset `asan-ubsan`, flow_test)
+#
+# Usage:  tools/check.sh [--full]
+#   --full   run the entire ctest suite (not just flow_test) under
+#            ASan/UBSan; slower but what CI should do.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [1/4] project lint pass =="
+cmake --preset dev >/dev/null
+cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
+./build/tools/streak_lint src
+
+echo "== [2/4] clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+    # The dev preset exports compile_commands.json.
+    mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+    clang-tidy -p build --quiet "${SOURCES[@]}"
+else
+    echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
+fi
+
+echo "== [3/4] -Werror build =="
+cmake --preset werror >/dev/null
+cmake --build --preset werror -j "$JOBS"
+
+echo "== [4/4] ASan/UBSan =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$JOBS"
+if [[ "$FULL" == 1 ]]; then
+    ctest --preset asan-ubsan -j "$JOBS"
+else
+    # Smoke: the end-to-end flow exercises every stage (and, with
+    # STREAK_CHECKS=deep baked into the preset, every stage auditor).
+    ./build-asan/tests/flow_test
+fi
+
+echo "check.sh: all stages passed"

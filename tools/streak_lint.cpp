@@ -1,0 +1,302 @@
+// Project lint pass over the Streak library sources (DESIGN.md
+// "Correctness tooling"). Registered as the `streak_lint` ctest so tier-1
+// enforces the rules:
+//
+//   banned-function    std::rand / srand and the printf family have no
+//                      place in library code (determinism, iostreams)
+//   raw-new-delete     no raw new / delete; own memory via containers or
+//                      smart pointers (`= delete` member syntax is fine)
+//   pragma-once        every header starts its include guard life as
+//                      #pragma once
+//   relative-include   #include "../..." bypasses module boundaries; use
+//                      the module-qualified path from src/
+//   float-equality     == / != against a floating literal needs an
+//                      epsilon helper (check::approxEqual) or an explicit
+//                      `// lint-ok: float-eq` marker for exact-zero skips
+//   bare-assert        use STREAK_ASSERT / STREAK_REQUIRE (contextual
+//                      messages) instead of <cassert>
+//
+// A finding on a line carrying `lint-ok: <rule>` in a comment is
+// suppressed — the marker doubles as in-source documentation of why the
+// construct is deliberate.
+//
+// Usage: streak_lint <source-dir>...   (exits non-zero on findings)
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+    fs::path file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+bool isWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `word` occurs in `line` as a standalone token.
+bool hasWord(const std::string& line, const std::string& word,
+             size_t* pos = nullptr) {
+    size_t from = 0;
+    while ((from = line.find(word, from)) != std::string::npos) {
+        const bool leftOk = from == 0 || !isWordChar(line[from - 1]);
+        const size_t end = from + word.size();
+        const bool rightOk = end >= line.size() || !isWordChar(line[end]);
+        if (leftOk && rightOk) {
+            if (pos != nullptr) *pos = from;
+            return true;
+        }
+        from = end;
+    }
+    return false;
+}
+
+/// Replace comments and string/char literal contents with spaces so the
+/// rules never fire on prose; preserves line structure and columns.
+std::vector<std::string> stripCode(const std::vector<std::string>& lines) {
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    bool inBlockComment = false;
+    for (const std::string& raw : lines) {
+        std::string s = raw;
+        for (size_t i = 0; i < s.size();) {
+            if (inBlockComment) {
+                if (s.compare(i, 2, "*/") == 0) {
+                    s[i] = s[i + 1] = ' ';
+                    i += 2;
+                    inBlockComment = false;
+                } else {
+                    s[i++] = ' ';
+                }
+                continue;
+            }
+            if (s.compare(i, 2, "//") == 0) {
+                for (size_t k = i; k < s.size(); ++k) s[k] = ' ';
+                break;
+            }
+            if (s.compare(i, 2, "/*") == 0) {
+                s[i] = s[i + 1] = ' ';
+                i += 2;
+                inBlockComment = true;
+                continue;
+            }
+            if (s[i] == '"' || s[i] == '\'') {
+                const char quote = s[i];
+                ++i;
+                while (i < s.size()) {
+                    if (s[i] == '\\' && i + 1 < s.size()) {
+                        s[i] = s[i + 1] = ' ';
+                        i += 2;
+                        continue;
+                    }
+                    if (s[i] == quote) {
+                        ++i;
+                        break;
+                    }
+                    s[i++] = ' ';
+                }
+                continue;
+            }
+            ++i;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+bool isFloatLiteralAt(const std::string& s, size_t pos, bool forward) {
+    // forward: literal starts at/after pos; backward: literal ends at pos.
+    if (forward) {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '-' || s[pos] == '+')) ++pos;
+        size_t digits = pos;
+        while (digits < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[digits])) != 0) {
+            ++digits;
+        }
+        return digits < s.size() && digits > pos && s[digits] == '.';
+    }
+    size_t p = pos;
+    while (p > 0 && s[p - 1] == ' ') --p;
+    // Accept "...<digits>" preceded by '.' (e.g. 1.0, .5, 12.) or f suffix.
+    size_t digits = p;
+    while (digits > 0 &&
+           (std::isdigit(static_cast<unsigned char>(s[digits - 1])) != 0 ||
+            s[digits - 1] == 'f')) {
+        --digits;
+    }
+    return digits > 0 && digits < p && s[digits - 1] == '.';
+}
+
+class Linter {
+public:
+    void lintFile(const fs::path& path) {
+        std::ifstream in(path);
+        if (!in) {
+            add(path, 0, "io", "could not open file");
+            return;
+        }
+        std::vector<std::string> raw;
+        for (std::string line; std::getline(in, line);) {
+            raw.push_back(std::move(line));
+        }
+        const std::vector<std::string> code = stripCode(raw);
+        const bool isHeader = path.extension() == ".hpp";
+
+        if (isHeader) {
+            const bool hasPragma =
+                std::any_of(raw.begin(), raw.end(), [](const std::string& l) {
+                    return l.find("#pragma once") != std::string::npos;
+                });
+            if (!hasPragma) {
+                add(path, 1, "pragma-once", "header is missing #pragma once");
+            }
+        }
+
+        for (size_t i = 0; i < code.size(); ++i) {
+            const std::string& line = code[i];
+            const int no = static_cast<int>(i) + 1;
+            const auto suppressed = [&](const char* rule) {
+                return raw[i].find(std::string("lint-ok: ") + rule) !=
+                       std::string::npos;
+            };
+
+            for (const char* banned : {"printf", "fprintf", "sprintf",
+                                       "snprintf", "srand"}) {
+                if (hasWord(line, banned) && !suppressed("banned-function")) {
+                    add(path, no, "banned-function",
+                        std::string(banned) + " is banned in library code");
+                }
+            }
+            if (line.find("std::rand") != std::string::npos &&
+                !suppressed("banned-function")) {
+                add(path, no, "banned-function",
+                    "std::rand is banned (non-deterministic seeding, "
+                    "poor distribution)");
+            }
+
+            size_t pos = 0;
+            if (hasWord(line, "new", &pos) && !suppressed("raw-new-delete")) {
+                add(path, no, "raw-new-delete",
+                    "raw new is banned; use containers or smart pointers");
+            }
+            if (hasWord(line, "delete", &pos) &&
+                !suppressed("raw-new-delete")) {
+                // `= delete` (deleted member functions) is language syntax.
+                size_t before = pos;
+                while (before > 0 && line[before - 1] == ' ') --before;
+                if (before == 0 || line[before - 1] != '=') {
+                    add(path, no, "raw-new-delete",
+                        "raw delete is banned; use containers or smart "
+                        "pointers");
+                }
+            }
+
+            // Include paths are string literals, which stripCode blanks
+            // out — confirm the directive on the stripped line (so
+            // comments don't count), then read the path from the raw one.
+            const size_t inc = line.find("#include \"") != std::string::npos
+                                   ? raw[i].find("#include \"")
+                                   : std::string::npos;
+            if (inc != std::string::npos) {
+                const std::string rest = raw[i].substr(inc + 10);
+                if (rest.rfind("../", 0) == 0 || rest.rfind("./", 0) == 0) {
+                    add(path, no, "relative-include",
+                        "relative include bypasses module boundaries; use "
+                        "the module-qualified path");
+                }
+            }
+
+            for (size_t op = 0; op + 1 < line.size(); ++op) {
+                if ((line[op] != '=' && line[op] != '!') ||
+                    line[op + 1] != '=') {
+                    continue;
+                }
+                if (op > 0 && (line[op - 1] == '=' || line[op - 1] == '!' ||
+                               line[op - 1] == '<' || line[op - 1] == '>')) {
+                    continue;  // ===? no; skips <=, >=, != handled above
+                }
+                if (op + 2 < line.size() && line[op + 2] == '=') continue;
+                const bool floatRhs = isFloatLiteralAt(line, op + 2, true);
+                const bool floatLhs = op > 0 && isFloatLiteralAt(line, op, false);
+                if ((floatRhs || floatLhs) && !suppressed("float-eq")) {
+                    add(path, no, "float-equality",
+                        "== / != against a float literal; use "
+                        "check::approxEqual or mark `lint-ok: float-eq`");
+                    break;
+                }
+            }
+
+            if ((hasWord(line, "assert") ||
+                 line.find("<cassert>") != std::string::npos) &&
+                !suppressed("bare-assert")) {
+                add(path, no, "bare-assert",
+                    "bare assert() reports no context; use STREAK_ASSERT / "
+                    "STREAK_REQUIRE / STREAK_INVARIANT");
+            }
+        }
+    }
+
+    [[nodiscard]] const std::vector<Finding>& findings() const {
+        return findings_;
+    }
+
+private:
+    void add(const fs::path& file, int line, std::string rule,
+             std::string message) {
+        findings_.push_back({file, line, std::move(rule), std::move(message)});
+    }
+
+    std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::cerr << "usage: streak_lint <source-dir>...\n";
+        return 2;
+    }
+    std::vector<fs::path> files;
+    for (int a = 1; a < argc; ++a) {
+        const fs::path root(argv[a]);
+        if (!fs::exists(root)) {
+            std::cerr << "streak_lint: no such directory: " << root << "\n";
+            return 2;
+        }
+        for (const auto& entry : fs::recursive_directory_iterator(root)) {
+            if (!entry.is_regular_file()) continue;
+            const fs::path& p = entry.path();
+            if (p.extension() == ".hpp" || p.extension() == ".cpp") {
+                files.push_back(p);
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    Linter linter;
+    for (const fs::path& f : files) linter.lintFile(f);
+
+    for (const Finding& f : linter.findings()) {
+        std::cerr << f.file.string() << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+    }
+    if (!linter.findings().empty()) {
+        std::cerr << "streak_lint: " << linter.findings().size()
+                  << " finding(s) in " << files.size() << " files\n";
+        return 1;
+    }
+    std::cout << "streak_lint: " << files.size() << " files clean\n";
+    return 0;
+}
