@@ -1,0 +1,67 @@
+// Parallel scaling study (DESIGN.md "Parallel execution"): run the full
+// flow on a multipin suite at 1/2/4/8 threads and report per-stage wall
+// times plus the pool's own speedup estimate. The result columns must not
+// change with the thread count — the parallel layer is deterministic —
+// only the times may.
+//
+// On machines with fewer cores than the sweep, rows beyond the core count
+// show oversubscription, not scaling; the printed hardware thread count
+// makes that explicit.
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace streak;
+
+void runSweep(SolverKind solver, const char* title) {
+    gen::SuiteSpec spec = gen::synthSpec(5);  // multipin, several objects
+    const Design d = gen::generate(spec);
+
+    io::Table table({"threads", "build(s)", "solve(s)", "dist(s)", "post(s)",
+                     "total(s)", "est. speedup", "WL", "Vio(dst)"});
+    double serialTotal = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+        StreakOptions opts = bench::baseOptions();
+        opts.solver = solver;
+        opts.threads = threads;
+        const StreakResult r = runStreak(d, opts);
+
+        const double total =
+            r.buildSeconds + r.solveSeconds + r.distanceSeconds + r.postSeconds;
+        if (threads == 1) serialTotal = total;
+        parallel::RegionStats all;
+        all.merge(r.buildParallel);
+        all.merge(r.solveParallel);
+        all.merge(r.distanceParallel);
+        all.merge(r.postParallel);
+        // Measured end-to-end speedup vs the pool's task/wall estimate.
+        const std::string speedup =
+            io::Table::fixed(total > 0.0 ? serialTotal / total : 1.0, 2) +
+            "x (" + io::Table::fixed(all.speedupEstimate(), 2) + "x est)";
+        table.addRow({std::to_string(threads),
+                      io::Table::fixed(r.buildSeconds, 3),
+                      io::Table::fixed(r.solveSeconds, 3),
+                      io::Table::fixed(r.distanceSeconds, 3),
+                      io::Table::fixed(r.postSeconds, 3),
+                      io::Table::fixed(total, 3), speedup,
+                      std::to_string(r.metrics.wirelength),
+                      std::to_string(r.distanceViolationsAfter)});
+    }
+    std::cout << "== " << title << " ==\n";
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "hardware threads: " << parallel::hardwareThreads() << "\n\n";
+    runSweep(SolverKind::PrimalDual, "parallel scaling, primal-dual solver");
+    runSweep(SolverKind::Ilp, "parallel scaling, ILP solver");
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace streak::check {
 
@@ -57,12 +58,21 @@ void fail(const char* kind, const char* expr, const char* file, int line,
     std::ostringstream os;
     os << "streak " << kind << " failed: " << expr;
     if (!detail.empty()) os << "\n  " << detail;
-    os << "\n  at " << file << ':' << line;
+    os << "\n  at " << file << ':' << line << '\n';
     const std::string message = os.str();
     if (const FailureHandler handler = handlerStore().load()) {
         handler(message);  // may throw (tests); falls through otherwise
     }
-    std::cerr << message << std::endl;
+    // Checks may fire concurrently from pool workers: emit the fully
+    // formatted message as one serialized write + flush so reports never
+    // interleave, then abort.
+    {
+        static std::mutex mutex;
+        const std::lock_guard<std::mutex> lock(mutex);
+        std::cerr.write(message.data(),
+                        static_cast<std::streamsize>(message.size()));
+        std::cerr.flush();
+    }
     std::abort();
 }
 

@@ -50,91 +50,106 @@ std::vector<int> matchPins(const Bit& from, const Bit& to) {
     return match;
 }
 
-}  // namespace
-
-std::vector<std::vector<FamilyMember>> buildSinkFamilies(
-    const RoutingProblem& prob, const RoutedDesign& routed) {
+/// Family members of one group (the SV pin-matching is the expensive
+/// part); pure function of immutable state, safe to run per group in
+/// parallel.
+std::vector<FamilyMember> buildGroupFamilies(
+    const RoutingProblem& prob, const RoutedDesign& routed, int g,
+    const std::vector<int>* groupBits) {
     const Design& design = *prob.design;
-    std::vector<std::vector<FamilyMember>> families(
-        static_cast<size_t>(design.numGroups()));
+    std::vector<FamilyMember> family;
+    if (groupBits == nullptr) return family;
 
+    // Canonical object: the group's first object.
+    const std::vector<int>& objIds = prob.groupObjects[static_cast<size_t>(g)];
+    const int canonObj = objIds.front();
+    const Bit& canonRep =
+        representativeBit(design, prob.objects[static_cast<size_t>(canonObj)]);
+
+    // Per-object map: representative pin -> canonical pin.
+    std::map<int, std::vector<int>> toCanon;
+    for (const int o : objIds) {
+        const RoutingObject& obj = prob.objects[static_cast<size_t>(o)];
+        if (o == canonObj) {
+            std::vector<int> id(static_cast<size_t>(canonRep.numPins()));
+            for (size_t i = 0; i < id.size(); ++i) {
+                id[i] = static_cast<int>(i);
+            }
+            toCanon.emplace(o, std::move(id));
+        } else {
+            toCanon.emplace(
+                o, matchPins(representativeBit(design, obj), canonRep));
+        }
+    }
+
+    for (const int r : *groupBits) {
+        const RoutedBit& rb = routed.bits[static_cast<size_t>(r)];
+        const RoutingObject& obj =
+            prob.objects[static_cast<size_t>(rb.objectIndex)];
+        const Bit& bit = design.groups[static_cast<size_t>(g)]
+                             .bits[static_cast<size_t>(rb.bitIndex)];
+        const std::vector<int>& pinMap =
+            obj.pinMaps[static_cast<size_t>(rb.memberIndex)];
+        const std::vector<int>& canonMap = toCanon.at(rb.objectIndex);
+        for (int i = 0; i < bit.numPins(); ++i) {
+            if (i == bit.driver) continue;
+            const int fam =
+                canonMap[static_cast<size_t>(pinMap[static_cast<size_t>(i)])];
+            family.push_back({r, i, fam});
+        }
+    }
+    return family;
+}
+
+std::vector<std::vector<FamilyMember>> buildSinkFamiliesWith(
+    const RoutingProblem& prob, const RoutedDesign& routed,
+    parallel::ThreadPool& pool) {
     std::map<int, std::vector<int>> bitsOfGroup;
     for (size_t r = 0; r < routed.bits.size(); ++r) {
         bitsOfGroup[routed.bits[r].groupIndex].push_back(static_cast<int>(r));
     }
+    return pool.parallelMap<std::vector<FamilyMember>>(
+        prob.design->numGroups(), [&](int g) {
+            const auto itBits = bitsOfGroup.find(g);
+            return buildGroupFamilies(
+                prob, routed, g,
+                itBits == bitsOfGroup.end() ? nullptr : &itBits->second);
+        });
+}
 
-    for (int g = 0; g < design.numGroups(); ++g) {
-        const auto itBits = bitsOfGroup.find(g);
-        if (itBits == bitsOfGroup.end()) continue;
+}  // namespace
 
-        // Canonical object: the group's first object.
-        const std::vector<int>& objIds =
-            prob.groupObjects[static_cast<size_t>(g)];
-        const int canonObj = objIds.front();
-        const Bit& canonRep = representativeBit(
-            design, prob.objects[static_cast<size_t>(canonObj)]);
-
-        // Per-object map: representative pin -> canonical pin.
-        std::map<int, std::vector<int>> toCanon;
-        for (const int o : objIds) {
-            const RoutingObject& obj = prob.objects[static_cast<size_t>(o)];
-            if (o == canonObj) {
-                std::vector<int> id(static_cast<size_t>(canonRep.numPins()));
-                for (size_t i = 0; i < id.size(); ++i) {
-                    id[i] = static_cast<int>(i);
-                }
-                toCanon.emplace(o, std::move(id));
-            } else {
-                toCanon.emplace(
-                    o, matchPins(representativeBit(design, obj), canonRep));
-            }
-        }
-
-        for (const int r : itBits->second) {
-            const RoutedBit& rb = routed.bits[static_cast<size_t>(r)];
-            const RoutingObject& obj =
-                prob.objects[static_cast<size_t>(rb.objectIndex)];
-            const Bit& bit = design.groups[static_cast<size_t>(g)]
-                                 .bits[static_cast<size_t>(rb.bitIndex)];
-            const std::vector<int>& pinMap =
-                obj.pinMaps[static_cast<size_t>(rb.memberIndex)];
-            const std::vector<int>& canonMap = toCanon.at(rb.objectIndex);
-            for (int i = 0; i < bit.numPins(); ++i) {
-                if (i == bit.driver) continue;
-                const int fam = canonMap[static_cast<size_t>(
-                    pinMap[static_cast<size_t>(i)])];
-                families[static_cast<size_t>(g)].push_back({r, i, fam});
-            }
-        }
-    }
-    return families;
+std::vector<std::vector<FamilyMember>> buildSinkFamilies(
+    const RoutingProblem& prob, const RoutedDesign& routed) {
+    parallel::ThreadPool pool(parallel::resolveThreads(prob.opts.threads));
+    return buildSinkFamiliesWith(prob, routed, pool);
 }
 
 std::vector<GroupDistanceReport> analyzeDistances(
     const RoutingProblem& prob, const RoutedDesign& routed,
-    double thresholdFraction, const std::vector<int>* fixedThresholds) {
-    const Design& design = *prob.design;
-    std::vector<GroupDistanceReport> reports;
-    reports.reserve(static_cast<size_t>(design.numGroups()));
+    double thresholdFraction, const std::vector<int>* fixedThresholds,
+    parallel::RegionStats* parallelStats) {
+    parallel::ThreadPool pool(parallel::resolveThreads(prob.opts.threads));
 
     const std::vector<std::vector<FamilyMember>> allFamilies =
-        buildSinkFamilies(prob, routed);
+        buildSinkFamiliesWith(prob, routed, pool);
 
-    // Per-routed-bit distance cache (sourceToSinkDistances is a BFS).
-    std::map<int, std::vector<int>> distCache;
-    const auto distancesOf = [&](int routedBit) -> const std::vector<int>& {
-        auto it = distCache.find(routedBit);
-        if (it == distCache.end()) {
-            it = distCache
-                     .emplace(routedBit,
-                              routed.bits[static_cast<size_t>(routedBit)]
-                                  .topo.sourceToSinkDistances())
-                     .first;
-        }
-        return it->second;
-    };
+    // Groups analyze independently: a routed bit belongs to exactly one
+    // group, so the per-bit BFS distance cache can live inside the task.
+    const auto analyzeGroup = [&](int g) {
+        std::map<int, std::vector<int>> distCache;
+        const auto distancesOf = [&](int routedBit) -> const std::vector<int>& {
+            auto it = distCache.find(routedBit);
+            if (it == distCache.end()) {
+                it = distCache
+                         .emplace(routedBit,
+                                  routed.bits[static_cast<size_t>(routedBit)]
+                                      .topo.sourceToSinkDistances())
+                         .first;
+            }
+            return it->second;
+        };
 
-    for (int g = 0; g < design.numGroups(); ++g) {
         GroupDistanceReport rep;
         rep.groupIndex = g;
 
@@ -181,8 +196,13 @@ std::vector<GroupDistanceReport> analyzeDistances(
                 }
             }
         }
-        reports.push_back(std::move(rep));
-    }
+        return rep;
+    };
+
+    std::vector<GroupDistanceReport> reports =
+        pool.parallelMap<GroupDistanceReport>(prob.design->numGroups(),
+                                              analyzeGroup);
+    if (parallelStats != nullptr) parallelStats->merge(pool.stats());
     return reports;
 }
 

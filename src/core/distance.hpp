@@ -12,6 +12,7 @@
 
 #include "core/problem.hpp"
 #include "core/solution.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace streak {
 
@@ -38,11 +39,14 @@ struct GroupDistanceReport {
 /// Analyze every group of a routed design. When `fixedThresholds` is
 /// given (group-indexed, -1 = compute), those thresholds are reused —
 /// Table II compares post-refinement violations against the *initial*
-/// thresholds.
+/// thresholds. Groups analyze in parallel (`prob.opts.threads`) with
+/// reports collected by group index, so the output is independent of the
+/// thread count; `parallelStats` accumulates the stage's region stats.
 [[nodiscard]] std::vector<GroupDistanceReport> analyzeDistances(
     const RoutingProblem& prob, const RoutedDesign& routed,
     double thresholdFraction,
-    const std::vector<int>* fixedThresholds = nullptr);
+    const std::vector<int>* fixedThresholds = nullptr,
+    parallel::RegionStats* parallelStats = nullptr);
 
 /// Number of groups with at least one violating family ("Vio(dst)").
 [[nodiscard]] int countViolatingGroups(

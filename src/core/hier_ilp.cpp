@@ -156,6 +156,8 @@ IlpRouteResult solveIlpHierarchical(const RoutingProblem& prob,
     out.nodesExplored = r1.nodesExplored + r2.nodesExplored;
     out.components = r2.components;
     out.hitTimeLimit = r1.hitTimeLimit || r2.hitTimeLimit;
+    out.parallelStats.merge(r1.parallelStats);
+    out.parallelStats.merge(r2.parallelStats);
 
     // MIP-start contract: never return worse than the warm start. The
     // stage-1 candidate reduction can strand a warm start behind capacity

@@ -1,7 +1,6 @@
 #include "core/ilp_router.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <numeric>
 
@@ -125,16 +124,22 @@ double componentObjective(const RoutingProblem& prob,
 
 }  // namespace
 
+namespace {
+
+/// Outcome of one component's branch-and-bound, merged in component order.
+struct ComponentOutcome {
+    /// (object, candidate or -1) assignments; empty when the component
+    /// found no solution and the warm start (if any) stands.
+    std::vector<std::pair<int, int>> chosen;
+    long nodesExplored = 0;
+    bool hitTimeLimit = false;
+};
+
+}  // namespace
+
 IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
                                double timeLimitSeconds,
                                const RoutingSolution* warmStart) {
-    const auto start = std::chrono::steady_clock::now();
-    const auto remaining = [&] {
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
-        return timeLimitSeconds - elapsed.count();
-    };
-
     IlpRouteResult result;
     if (warmStart != nullptr) {
         STREAK_REQUIRE(static_cast<int>(warmStart->chosen.size()) ==
@@ -166,29 +171,56 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
     for (const auto& [cell, objs] : tightCells) {
         for (size_t k = 1; k < objs.size(); ++k) uf.unite(objs[0], objs[k]);
     }
+    // Roots resolved up front: find() path-compresses, so the parallel
+    // component solves below must only read the frozen root table.
+    std::vector<int> rootOf(static_cast<size_t>(prob.numObjects()));
     std::map<int, std::vector<int>> componentMap;
     for (int i = 0; i < prob.numObjects(); ++i) {
-        componentMap[uf.find(i)].push_back(i);
+        rootOf[static_cast<size_t>(i)] = uf.find(i);
+        componentMap[rootOf[static_cast<size_t>(i)]].push_back(i);
     }
     result.components = static_cast<int>(componentMap.size());
 
-    // Smallest components first: under a shared time budget this proves
-    // as many components optimal as possible before the limit bites.
+    // Smallest components first (by total candidate count): stable across
+    // runs, and the cheap proofs land before the expensive ones.
     std::vector<std::pair<int, std::vector<int>>> components(
         componentMap.begin(), componentMap.end());
+    const auto weightOf = [&](const std::vector<int>& objs) {
+        size_t w = 0;
+        for (const int i : objs) {
+            w += prob.candidates[static_cast<size_t>(i)].size();
+        }
+        return w;
+    };
     std::stable_sort(components.begin(), components.end(),
                      [&](const auto& a, const auto& b) {
-                         size_t ca = 0, cb = 0;
-                         for (const int i : a.second) {
-                             ca += prob.candidates[static_cast<size_t>(i)].size();
-                         }
-                         for (const int i : b.second) {
-                             cb += prob.candidates[static_cast<size_t>(i)].size();
-                         }
-                         return ca < cb;
+                         return weightOf(a.second) < weightOf(b.second);
                      });
 
-    for (const auto& [root, objs] : components) {
+    // Deterministic time-budget split: each component owns a share of the
+    // wall-clock budget proportional to its candidate count. Unlike the
+    // old "whatever is left on the clock" scheme this does not depend on
+    // how fast earlier components happened to solve, so any thread count
+    // (and any execution order) sees the same caps.
+    std::vector<double> budget(components.size(), 0.0);
+    {
+        double totalWeight = 0.0;
+        for (const auto& [root, objs] : components) {
+            totalWeight += static_cast<double>(weightOf(objs)) + 1.0;
+        }
+        for (size_t c = 0; c < components.size(); ++c) {
+            budget[c] = timeLimitSeconds *
+                        (static_cast<double>(weightOf(components[c].second)) +
+                         1.0) /
+                        totalWeight;
+        }
+    }
+
+    const auto solveComponent = [&](int comp) {
+        const int root = components[static_cast<size_t>(comp)].first;
+        const std::vector<int>& objs =
+            components[static_cast<size_t>(comp)].second;
+        ComponentOutcome outcome;
         ilp::Model model;
         // x variables per (object, candidate); s per object.
         std::map<std::pair<int, int>, int> xVar;
@@ -216,7 +248,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
         for (const auto& [edge, users] : tightEdges) {
             std::vector<std::pair<int, double>> row;
             for (const int i : users) {
-                if (uf.find(i) != root) continue;
+                if (rootOf[static_cast<size_t>(i)] != root) continue;
                 const auto& cands = prob.candidates[static_cast<size_t>(i)];
                 for (size_t j = 0; j < cands.size(); ++j) {
                     const auto& use = cands[j].edgeUse;
@@ -237,7 +269,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
         for (const auto& [cell, users] : tightCells) {
             std::vector<std::pair<int, double>> row;
             for (const int i : users) {
-                if (uf.find(i) != root) continue;
+                if (rootOf[static_cast<size_t>(i)] != root) continue;
                 const auto& cands = prob.candidates[static_cast<size_t>(i)];
                 for (size_t j = 0; j < cands.size(); ++j) {
                     const auto& use = cands[j].viaUse;
@@ -257,7 +289,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
         }
         // Linearized pair terms: y >= x_ij + x_pq - 1, cost >= 0.
         for (const PairBlock& pb : prob.pairBlocks) {
-            if (uf.find(pb.objA) != root) continue;
+            if (rootOf[static_cast<size_t>(pb.objA)] != root) continue;
             for (size_t j = 0; j < pb.cost.size(); ++j) {
                 for (size_t q = 0; q < pb.cost[j].size(); ++q) {
                     const double c = pb.cost[j][q];
@@ -276,34 +308,41 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
         // every capacity row a valid candidate demand.
         STREAK_DEEP_AUDIT(check::auditIlpModel(model));
 
-        const double left = remaining();
-        if (left <= 0.0) {
-            // Out of budget: the warm-start assignment (or non-route)
-            // stands for this component.
-            result.hitTimeLimit = true;
-            continue;
-        }
         ilp::BnbOptions bopts;
-        bopts.timeLimitSeconds = left;
+        bopts.timeLimitSeconds = budget[static_cast<size_t>(comp)];
         if (warmStart != nullptr) {
             bopts.initialUpperBound =
                 componentObjective(prob, objs, warmStart->chosen);
         }
         ilp::BnbStats stats;
         const ilp::Solution sol = ilp::solveIlp(model, bopts, &stats);
-        result.nodesExplored += stats.nodesExplored;
-        if (stats.hitLimit) result.hitTimeLimit = true;
-        if (!sol.hasSolution()) continue;  // warm start (if any) stands
-        for (const int i : objs) {
-            result.solution.chosen[static_cast<size_t>(i)] = -1;
-        }
+        outcome.nodesExplored = stats.nodesExplored;
+        outcome.hitTimeLimit = stats.hitLimit;
+        if (!sol.hasSolution()) return outcome;  // warm start (if any) stands
+        std::map<int, int> pick;
+        for (const int i : objs) pick[i] = -1;
         for (const auto& [key, var] : xVar) {
             if (sol.values[static_cast<size_t>(var)] > 0.5) {
-                result.solution.chosen[static_cast<size_t>(key.first)] =
-                    key.second;
+                pick[key.first] = key.second;
             }
         }
-    }
+        outcome.chosen.assign(pick.begin(), pick.end());
+        return outcome;
+    };
+
+    // Components solve in parallel; outcomes merge in the (deterministic)
+    // sorted component order, each touching a disjoint slice of `chosen`.
+    parallel::ThreadPool pool(parallel::resolveThreads(prob.opts.threads));
+    pool.orderedReduce<ComponentOutcome>(
+        static_cast<int>(components.size()), solveComponent,
+        [&](int /*comp*/, ComponentOutcome&& outcome) {
+            result.nodesExplored += outcome.nodesExplored;
+            if (outcome.hitTimeLimit) result.hitTimeLimit = true;
+            for (const auto& [obj, cand] : outcome.chosen) {
+                result.solution.chosen[static_cast<size_t>(obj)] = cand;
+            }
+        });
+    result.parallelStats.merge(pool.stats());
 
     result.solution.hitLimit = result.hitTimeLimit;
     result.solution.objective =

@@ -10,6 +10,7 @@
 
 #include "core/problem.hpp"
 #include "core/solution.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace streak {
 
@@ -18,6 +19,8 @@ struct IlpRouteResult {
     long nodesExplored = 0;
     int components = 0;
     bool hitTimeLimit = false;
+    /// Stats of the per-component parallel solve (`opts.threads` workers).
+    parallel::RegionStats parallelStats;
 };
 
 /// `warmStart` (typically the primal-dual result) seeds every component
@@ -25,6 +28,11 @@ struct IlpRouteResult {
 /// better selections and the warm choice is kept when the time limit cuts
 /// a component short — mirroring how a commercial solver's MIP start
 /// behaves under the paper's 3600 s cap.
+///
+/// Components solve in parallel (`prob.opts.threads`); the shared time
+/// budget is split deterministically across components in proportion to
+/// their candidate counts, so — as long as no component exhausts its
+/// share — the result is byte-identical for every thread count.
 [[nodiscard]] IlpRouteResult solveIlpRouting(
     const RoutingProblem& prob, double timeLimitSeconds,
     const RoutingSolution* warmStart = nullptr);

@@ -41,6 +41,13 @@ struct StreakOptions {
     SolverKind solver = SolverKind::PrimalDual;
     double ilpTimeLimitSeconds = 60.0;
 
+    // --- parallel execution (DESIGN.md "Parallel execution") ---
+    /// Worker threads for the parallel stages (candidate build, per-
+    /// component ILP solves, distance analysis, refinement scoring).
+    /// 0 = hardware concurrency, 1 = the exact legacy sequential path.
+    /// Results are byte-identical for every value (ordered reductions).
+    int threads = 0;
+
     // --- post optimization (Sec. IV) ---
     bool postOptimize = false;
     bool clusteringEnabled = true;   // Fig. 14 ablation switch

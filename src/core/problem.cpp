@@ -19,7 +19,66 @@ double RoutingProblem::costLowerBound() const {
     return lb;
 }
 
-RoutingProblem buildProblem(const Design& design, const StreakOptions& opts) {
+namespace {
+
+/// Pairwise regularity blocks of one group, in (a, b) member order. Pure
+/// function of immutable problem state, so groups evaluate in parallel;
+/// the caller splices the per-group results back in group index order.
+std::vector<PairBlock> buildGroupPairBlocks(const RoutingProblem& prob,
+                                            const std::vector<int>& members,
+                                            const StreakOptions& opts) {
+    std::vector<PairBlock> blocks;
+    for (size_t a = 0; a < members.size(); ++a) {
+        for (size_t b = a + 1; b < members.size(); ++b) {
+            const int i = members[a];
+            const int p = members[b];
+            const auto& candsI = prob.candidates[static_cast<size_t>(i)];
+            const auto& candsP = prob.candidates[static_cast<size_t>(p)];
+            if (candsI.empty() || candsP.empty()) continue;
+
+            // The Ratio() part depends only on the backbone pair; cache it
+            // so layer-pair expansion does not multiply the matching work.
+            std::map<std::pair<int, int>, double> ratioCache;
+            PairBlock block;
+            block.objA = i;
+            block.objB = p;
+            block.cost.assign(candsI.size(),
+                              std::vector<double>(candsP.size(), 0.0));
+            for (size_t j = 0; j < candsI.size(); ++j) {
+                for (size_t q = 0; q < candsP.size(); ++q) {
+                    const auto key = std::make_pair(candsI[j].backboneId,
+                                                    candsP[q].backboneId);
+                    auto it = ratioCache.find(key);
+                    if (it == ratioCache.end()) {
+                        it = ratioCache
+                                 .emplace(key, regularityRatio(
+                                                   candsI[j].backbone,
+                                                   candsP[q].backbone))
+                                 .first;
+                    }
+                    const double ratio = it->second;
+                    double c = 0.0;
+                    if (ratio <= 0.0) {
+                        c = opts.noSharePenalty;
+                    } else {
+                        c = opts.irregularityWeight * (1.0 / ratio - 1.0);
+                    }
+                    c += opts.pairLayerWeight *
+                         (std::abs(candsI[j].hLayer - candsP[q].hLayer) +
+                          std::abs(candsI[j].vLayer - candsP[q].vLayer));
+                    block.cost[j][q] = c;
+                }
+            }
+            blocks.push_back(std::move(block));
+        }
+    }
+    return blocks;
+}
+
+}  // namespace
+
+RoutingProblem buildProblem(const Design& design, const StreakOptions& opts,
+                            parallel::RegionStats* parallelStats) {
     RoutingProblem prob;
     prob.design = &design;
     prob.opts = opts;
@@ -31,62 +90,36 @@ RoutingProblem buildProblem(const Design& design, const StreakOptions& opts) {
             .push_back(static_cast<int>(i));
     }
 
-    prob.candidates.reserve(prob.objects.size());
-    for (const RoutingObject& obj : prob.objects) {
-        prob.candidates.push_back(generateCandidates(design, obj, opts));
-    }
+    parallel::ThreadPool pool(parallel::resolveThreads(opts.threads));
 
-    // Pairwise regularity costs between objects of one group. The
-    // Ratio() part depends only on the backbone pair; cache it so that
-    // layer-pair expansion does not multiply the matching work.
+    // Per-object 3-D candidate expansion: independent across objects,
+    // collected by object index.
+    prob.candidates = pool.parallelMap<std::vector<RouteCandidate>>(
+        static_cast<int>(prob.objects.size()), [&](int i) {
+            return generateCandidates(
+                design, prob.objects[static_cast<size_t>(i)], opts);
+        });
+
+    // Pairwise regularity costs between objects of one group: evaluated
+    // per group in parallel, then spliced in group index order so block
+    // ids and pairsOf lists match the sequential path exactly.
     prob.pairsOf.assign(prob.objects.size(), {});
-    for (const std::vector<int>& members : prob.groupObjects) {
-        for (size_t a = 0; a < members.size(); ++a) {
-            for (size_t b = a + 1; b < members.size(); ++b) {
-                const int i = members[a];
-                const int p = members[b];
-                const auto& candsI = prob.candidates[static_cast<size_t>(i)];
-                const auto& candsP = prob.candidates[static_cast<size_t>(p)];
-                if (candsI.empty() || candsP.empty()) continue;
-
-                std::map<std::pair<int, int>, double> ratioCache;
-                PairBlock block;
-                block.objA = i;
-                block.objB = p;
-                block.cost.assign(candsI.size(),
-                                  std::vector<double>(candsP.size(), 0.0));
-                for (size_t j = 0; j < candsI.size(); ++j) {
-                    for (size_t q = 0; q < candsP.size(); ++q) {
-                        const auto key = std::make_pair(candsI[j].backboneId,
-                                                        candsP[q].backboneId);
-                        auto it = ratioCache.find(key);
-                        if (it == ratioCache.end()) {
-                            it = ratioCache
-                                     .emplace(key, regularityRatio(
-                                                       candsI[j].backbone,
-                                                       candsP[q].backbone))
-                                     .first;
-                        }
-                        const double ratio = it->second;
-                        double c = 0.0;
-                        if (ratio <= 0.0) {
-                            c = opts.noSharePenalty;
-                        } else {
-                            c = opts.irregularityWeight * (1.0 / ratio - 1.0);
-                        }
-                        c += opts.pairLayerWeight *
-                             (std::abs(candsI[j].hLayer - candsP[q].hLayer) +
-                              std::abs(candsI[j].vLayer - candsP[q].vLayer));
-                        block.cost[j][q] = c;
-                    }
-                }
+    pool.orderedReduce<std::vector<PairBlock>>(
+        static_cast<int>(prob.groupObjects.size()),
+        [&](int g) {
+            return buildGroupPairBlocks(
+                prob, prob.groupObjects[static_cast<size_t>(g)], opts);
+        },
+        [&](int /*g*/, std::vector<PairBlock>&& blocks) {
+            for (PairBlock& block : blocks) {
                 const int blockId = static_cast<int>(prob.pairBlocks.size());
+                prob.pairsOf[static_cast<size_t>(block.objA)].push_back(blockId);
+                prob.pairsOf[static_cast<size_t>(block.objB)].push_back(blockId);
                 prob.pairBlocks.push_back(std::move(block));
-                prob.pairsOf[static_cast<size_t>(i)].push_back(blockId);
-                prob.pairsOf[static_cast<size_t>(p)].push_back(blockId);
             }
-        }
-    }
+        });
+
+    if (parallelStats != nullptr) parallelStats->merge(pool.stats());
     return prob;
 }
 

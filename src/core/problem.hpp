@@ -8,6 +8,7 @@
 #include "core/identify.hpp"
 #include "core/options.hpp"
 #include "core/signal.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace streak {
 
@@ -58,8 +59,12 @@ struct RoutingProblem {
 };
 
 /// Run identification, backbone/equivalent-topology generation, 3-D
-/// expansion and pair-cost precomputation for a design.
-[[nodiscard]] RoutingProblem buildProblem(const Design& design,
-                                          const StreakOptions& opts);
+/// expansion and pair-cost precomputation for a design. Candidate
+/// generation and pair-cost blocks parallelize over objects / groups
+/// (`opts.threads`); the result is identical for every thread count.
+/// `parallelStats`, when given, accumulates the stage's region stats.
+[[nodiscard]] RoutingProblem buildProblem(
+    const Design& design, const StreakOptions& opts,
+    parallel::RegionStats* parallelStats = nullptr);
 
 }  // namespace streak

@@ -30,10 +30,11 @@ private:
 
 StreakResult runStreak(const Design& design, const StreakOptions& opts) {
     StreakResult result(design.grid);
+    result.threadsUsed = parallel::resolveThreads(opts.threads);
 
     {
         const Stopwatch sw;
-        result.problem = buildProblem(design, opts);
+        result.problem = buildProblem(design, opts, &result.buildParallel);
         result.buildSeconds = sw.seconds();
     }
     STREAK_DEEP_AUDIT(check::auditProblem(result.problem));
@@ -57,6 +58,7 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
             result.solverSolution = std::move(ilp.solution);
             result.ilpNodes = ilp.nodesExplored;
             result.hitTimeLimit = ilp.hitTimeLimit;
+            result.solveParallel.merge(ilp.parallelStats);
         } else {
             PdResult pd = solvePrimalDual(result.problem);
             result.solverSolution = std::move(pd.solution);
@@ -70,13 +72,23 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
     result.routed = materialize(result.problem, result.solverSolution);
     STREAK_DEEP_AUDIT(check::auditRoutedDesign(result.problem, result.routed));
 
+    // The baseline distance analysis always runs (it feeds the reported
+    // Vio(dst) numbers) and is timed on its own: counting it into
+    // postSeconds used to inflate the post-stage timing that benches
+    // report even when postOptimize was off.
+    std::vector<GroupDistanceReport> before;
     {
         const Stopwatch sw;
-        const std::vector<GroupDistanceReport> before = analyzeDistances(
-            result.problem, result.routed, opts.distanceThresholdFraction);
+        before = analyzeDistances(result.problem, result.routed,
+                                  opts.distanceThresholdFraction, nullptr,
+                                  &result.distanceParallel);
         result.distanceViolationsBefore = countViolatingGroups(before);
         result.distanceViolationsAfter = result.distanceViolationsBefore;
+        result.distanceSeconds = sw.seconds();
+    }
 
+    {
+        const Stopwatch sw;
         if (opts.postOptimize) {
             if (opts.clusteringEnabled) {
                 post::clusterAndRoute(result.problem, &result.routed);
@@ -87,6 +99,7 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
                 const post::RefinementResult ref =
                     post::refineDistances(result.problem, &result.routed);
                 result.distanceViolationsAfter = ref.violatingGroupsAfter;
+                result.postParallel.merge(ref.parallelStats);
             } else {
                 // Clustering may add bits; re-evaluate with the initial
                 // thresholds for a fair "after" number.
@@ -96,7 +109,8 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
                 }
                 const auto after = analyzeDistances(
                     result.problem, result.routed,
-                    opts.distanceThresholdFraction, &thresholds);
+                    opts.distanceThresholdFraction, &thresholds,
+                    &result.postParallel);
                 result.distanceViolationsAfter = countViolatingGroups(after);
             }
         }

@@ -20,6 +20,7 @@
 #include "core/options.hpp"
 #include "core/problem.hpp"
 #include "core/solution.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace streak {
 
@@ -36,10 +37,23 @@ struct StreakResult {
 
     double buildSeconds = 0.0;
     double solveSeconds = 0.0;
+    /// Baseline distance analysis (always runs, even without post
+    /// optimization; kept out of postSeconds so post-stage timings only
+    /// cover actual post-optimization work).
+    double distanceSeconds = 0.0;
     double postSeconds = 0.0;
     bool hitTimeLimit = false;
     int pdIterations = 0;
     long ilpNodes = 0;
+
+    /// Worker threads the parallel stages ran with (resolved, >= 1).
+    int threadsUsed = 1;
+    /// Per-stage parallel region stats (threads, wall vs task seconds);
+    /// speedupEstimate() approximates the achieved parallel speedup.
+    parallel::RegionStats buildParallel;
+    parallel::RegionStats solveParallel;
+    parallel::RegionStats distanceParallel;
+    parallel::RegionStats postParallel;
 
     explicit StreakResult(const grid::RoutingGrid& grid) : routed(grid) {}
 };

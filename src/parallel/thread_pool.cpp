@@ -1,0 +1,170 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "check/assert.hpp"
+
+namespace streak::parallel {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+    const std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start;
+    return d.count();
+}
+
+}  // namespace
+
+int hardwareThreads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolveThreads(int requested) {
+    return requested >= 1 ? requested : hardwareThreads();
+}
+
+/// Worker state: one job at a time, dispatched by an atomic task index.
+struct ThreadPool::Impl {
+    std::mutex mutex;
+    std::condition_variable wake;   // workers wait here between jobs
+    std::condition_variable done;   // the owner waits here during a job
+
+    // Current job (valid while busyWorkers > 0 or generation just bumped).
+    const std::function<void(int)>* fn = nullptr;
+    int taskCount = 0;
+    std::atomic<int> nextTask{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors;  // per task index
+    std::vector<double> taskSeconds;         // per task index
+
+    long generation = 0;   // bumped per job so workers never re-run one
+    int busyWorkers = 0;   // workers still draining the current job
+    bool shutdown = false;
+
+    std::vector<std::thread> workers;
+
+    /// Pull-and-run loop shared by workers and the owning thread. Each
+    /// task's result lands in per-index slots, so completion order never
+    /// influences the outcome.
+    void drain() {
+        for (;;) {
+            const int i = nextTask.fetch_add(1, std::memory_order_relaxed);
+            if (i >= taskCount) return;
+            if (failed.load(std::memory_order_relaxed)) continue;  // fail fast
+            const auto start = std::chrono::steady_clock::now();
+            try {
+                (*fn)(i);
+            } catch (...) {
+                errors[static_cast<size_t>(i)] = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+            taskSeconds[static_cast<size_t>(i)] = secondsSince(start);
+        }
+    }
+
+    void workerLoop() {
+        long seenGeneration = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock, [&] {
+                    return shutdown || generation != seenGeneration;
+                });
+                if (shutdown) return;
+                seenGeneration = generation;
+            }
+            drain();
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (--busyWorkers == 0) done.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads < 1 ? 1 : threads) {
+    stats_.threads = threads_;
+}
+
+ThreadPool::~ThreadPool() {
+    if (impl_ == nullptr) return;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->shutdown = true;
+    }
+    impl_->wake.notify_all();
+    for (std::thread& w : impl_->workers) w.join();
+}
+
+void ThreadPool::runSerial(int n, const std::function<void(int)>& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i) fn(i);
+    const double wall = secondsSince(start);
+    ++stats_.regions;
+    stats_.tasks += n;
+    stats_.wallSeconds += wall;
+    stats_.taskSeconds += wall;
+}
+
+void ThreadPool::runParallel(int n, const std::function<void(int)>& fn) {
+    if (impl_ == nullptr) {
+        impl_ = std::make_unique<Impl>();
+        impl_->workers.reserve(static_cast<size_t>(threads_ - 1));
+        for (int t = 0; t < threads_ - 1; ++t) {
+            impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+        }
+    }
+    Impl& im = *impl_;
+    STREAK_REQUIRE(im.fn == nullptr,
+                   "parallel regions must not nest (pool of {} threads)",
+                   threads_);
+    im.fn = &fn;
+    im.taskCount = n;
+    im.nextTask.store(0, std::memory_order_relaxed);
+    im.failed.store(false, std::memory_order_relaxed);
+    im.errors.assign(static_cast<size_t>(n), nullptr);
+    im.taskSeconds.assign(static_cast<size_t>(n), 0.0);
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(im.mutex);
+        im.busyWorkers = static_cast<int>(im.workers.size());
+        ++im.generation;
+    }
+    im.wake.notify_all();
+    im.drain();  // the owning thread participates
+    {
+        std::unique_lock<std::mutex> lock(im.mutex);
+        im.done.wait(lock, [&] { return im.busyWorkers == 0; });
+    }
+    im.fn = nullptr;
+
+    ++stats_.regions;
+    stats_.tasks += n;
+    stats_.wallSeconds += secondsSince(start);
+    for (const double s : im.taskSeconds) stats_.taskSeconds += s;
+
+    // Rethrow the lowest-index failure so error behaviour is as
+    // deterministic as success behaviour.
+    for (const std::exception_ptr& e : im.errors) {
+        if (e != nullptr) std::rethrow_exception(e);
+    }
+}
+
+void ThreadPool::parallelFor(int n, const std::function<void(int)>& fn) {
+    if (n <= 0) return;
+    if (threads_ == 1 || n == 1) {
+        runSerial(n, fn);
+    } else {
+        runParallel(n, fn);
+    }
+}
+
+}  // namespace streak::parallel

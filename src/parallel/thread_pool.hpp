@@ -1,0 +1,121 @@
+// Deterministic parallel execution layer (DESIGN.md "Parallel execution").
+//
+// A small fixed-size thread pool with three primitives:
+//
+//   parallelFor(n, fn)        run fn(0..n-1), any order, block until done
+//   parallelMap<T>(n, fn)     like parallelFor but collect fn(i) into
+//                             slot i of a vector (index-addressed, so the
+//                             result is independent of execution order)
+//   orderedReduce<T>(n, produce, fold)
+//                             produce T values in parallel, then fold them
+//                             sequentially in strict index order on the
+//                             calling thread
+//
+// The determinism contract of the whole layer: every parallel region
+// writes results into per-index slots and every reduction folds in fixed
+// index order, so the output of a region is byte-identical for any thread
+// count — `threads = 1` is the exact legacy sequential path (tasks run
+// inline on the calling thread, no workers are ever spawned).
+//
+// Pools are cheap to create (workers spawn lazily on the first parallel
+// region that needs them) and are intended to live for the duration of
+// one flow stage. Exceptions thrown by tasks are captured and the one
+// with the lowest index is rethrown on the calling thread after the
+// region drains, keeping failure behaviour index-deterministic too.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace streak::parallel {
+
+/// Accumulated cost of the parallel regions run through one pool (or one
+/// flow stage): wall time of the regions vs. summed task time. The ratio
+/// estimates the achieved speedup without needing a serial rerun.
+struct RegionStats {
+    int threads = 1;         ///< pool size the regions ran with
+    int regions = 0;         ///< number of parallelFor/Map invocations
+    long tasks = 0;          ///< total task count across regions
+    double wallSeconds = 0.0;  ///< summed wall-clock time of the regions
+    double taskSeconds = 0.0;  ///< summed per-task execution time
+
+    /// taskSeconds / wallSeconds: ~1.0 when serial, approaches the pool
+    /// size under perfect scaling. Strictly this measures *concurrency*
+    /// (mean tasks in flight): with more threads than cores, descheduled
+    /// time inflates per-task wall time, so oversubscribed runs report
+    /// concurrency rather than true speedup.
+    [[nodiscard]] double speedupEstimate() const {
+        return wallSeconds > 0.0 ? taskSeconds / wallSeconds : 1.0;
+    }
+
+    /// Combine stats from another pool / stage (threads: max, rest: sum).
+    void merge(const RegionStats& other) {
+        threads = threads > other.threads ? threads : other.threads;
+        regions += other.regions;
+        tasks += other.tasks;
+        wallSeconds += other.wallSeconds;
+        taskSeconds += other.taskSeconds;
+    }
+};
+
+/// Resolve a `StreakOptions::threads`-style knob: values >= 1 pass
+/// through, everything else (0, negative) means "hardware concurrency".
+[[nodiscard]] int resolveThreads(int requested);
+
+/// std::thread::hardware_concurrency with a floor of 1.
+[[nodiscard]] int hardwareThreads();
+
+class ThreadPool {
+public:
+    /// A pool of `threads` workers (clamped to >= 1; the calling thread
+    /// counts as one worker, so `threads = 4` spawns 3 OS threads).
+    /// Workers are spawned lazily by the first region with > 1 task.
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int threadCount() const { return threads_; }
+
+    /// Run fn(i) for every i in [0, n). Blocks until all tasks finished.
+    /// Must be called from the owning thread only (regions never nest).
+    void parallelFor(int n, const std::function<void(int)>& fn);
+
+    /// parallelFor that collects fn(i) into slot i of the result.
+    template <typename T>
+    [[nodiscard]] std::vector<T> parallelMap(
+        int n, const std::function<T(int)>& fn) {
+        std::vector<T> out(static_cast<size_t>(n < 0 ? 0 : n));
+        parallelFor(n, [&](int i) { out[static_cast<size_t>(i)] = fn(i); });
+        return out;
+    }
+
+    /// Deterministic ordered reduction: produce(i) runs in parallel, then
+    /// fold(i, value) runs on the calling thread in index order 0..n-1.
+    template <typename T>
+    void orderedReduce(int n, const std::function<T(int)>& produce,
+                       const std::function<void(int, T&&)>& fold) {
+        std::vector<T> values = parallelMap<T>(n, produce);
+        for (int i = 0; i < n; ++i) {
+            fold(i, std::move(values[static_cast<size_t>(i)]));
+        }
+    }
+
+    /// Stats accumulated over every region this pool has run.
+    [[nodiscard]] const RegionStats& stats() const { return stats_; }
+
+private:
+    struct Impl;
+
+    void runSerial(int n, const std::function<void(int)>& fn);
+    void runParallel(int n, const std::function<void(int)>& fn);
+
+    int threads_;
+    RegionStats stats_;
+    std::unique_ptr<Impl> impl_;  // created lazily with the workers
+};
+
+}  // namespace streak::parallel

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/candidate.hpp"
+#include "geom/rect.hpp"
 
 namespace streak::post {
 
@@ -185,6 +186,99 @@ void applyDetour(RoutedDesign* routed, RoutedBit* bit, const Detour& det) {
     }
 }
 
+/// Per-group tallies of the detour pass, merged in group order.
+struct GroupRefineOutcome {
+    int pinsConsidered = 0;
+    int pinsFixed = 0;
+    long addedWirelength = 0;
+};
+
+/// Run Alg. 4 on one group's violations (identical to the sequential
+/// inner loop; mutates only this group's bits and grid cells inside the
+/// group's search region).
+GroupRefineOutcome refineGroup(const StreakOptions& opts,
+                               const GroupDistanceReport& rep,
+                               RoutedDesign* routed) {
+    GroupRefineOutcome out;
+    for (const PinDeviation& dev : rep.violations) {
+        ++out.pinsConsidered;
+        RoutedBit& bit = routed->bits[static_cast<size_t>(dev.routedBitIndex)];
+        const geom::Point pin =
+            bit.topo.pins()[static_cast<size_t>(dev.pinIndex)];
+        const Connection conn = findTerminalConnection(bit.topo, pin);
+        if (!conn.found) continue;
+
+        // A shift of s adds 2*s wire. Aim at matching the family's
+        // target distance (dst' = familyMax); fall back towards the
+        // minimum shift that still clears the threshold.
+        const int deficit = dev.familyMax - dev.distance;
+        const int sIdeal = std::min(opts.maxDetourShift, (deficit + 1) / 2);
+        const int sMin = std::max(1, (deficit - rep.threshold + 1) / 2);
+        if (sMin > opts.maxDetourShift) continue;
+
+        bool fixed = false;
+        for (int s = sIdeal; s >= sMin && !fixed; --s) {
+            for (const bool positive : {true, false}) {
+                const Detour det = makeDetour(conn, s, positive);
+                if (detourLegal(*routed, bit.topo, det, bit.hLayer,
+                                bit.vLayer)) {
+                    applyDetour(routed, &bit, det);
+                    out.addedWirelength += 2L * s;
+                    fixed = true;
+                    break;
+                }
+            }
+        }
+        if (fixed) ++out.pinsFixed;
+    }
+    return out;
+}
+
+/// Conservative G-Cell region a group's detour pass may read or write:
+/// the bounding box of every violating bit's topology, expanded by the
+/// maximum total shift its detours can accumulate. Everything Alg. 4
+/// touches for the group — candidate detour edges, released runs, via
+/// cells — has both endpoints inside these rectangles.
+std::vector<geom::Rect> groupSearchRegion(const StreakOptions& opts,
+                                          const GroupDistanceReport& rep,
+                                          const RoutedDesign& routed) {
+    std::map<int, int> violationsOfBit;
+    for (const PinDeviation& dev : rep.violations) {
+        ++violationsOfBit[dev.routedBitIndex];
+    }
+    std::vector<geom::Rect> rects;
+    rects.reserve(violationsOfBit.size());
+    for (const auto& [bitIndex, count] : violationsOfBit) {
+        const RoutedBit& bit = routed.bits[static_cast<size_t>(bitIndex)];
+        const std::vector<geom::Point>& pins = bit.topo.pins();
+        if (pins.empty()) continue;
+        geom::Rect box{pins.front(), pins.front()};
+        for (const geom::Point p : pins) box.expand(p);
+        for (const geom::Point p : bit.topo.wirePoints()) box.expand(p);
+        // Each violation applies at most one detour of shift
+        // <= maxDetourShift, and a later connection may sit on wire a
+        // previous detour already displaced — so the reachable region
+        // grows by one shift per violation of the bit.
+        const int margin = opts.maxDetourShift * count;
+        box.lo.x -= margin;
+        box.lo.y -= margin;
+        box.hi.x += margin;
+        box.hi.y += margin;
+        rects.push_back(box);
+    }
+    return rects;
+}
+
+bool regionsOverlap(const std::vector<geom::Rect>& a,
+                    const std::vector<geom::Rect>& b) {
+    for (const geom::Rect& ra : a) {
+        for (const geom::Rect& rb : b) {
+            if (ra.overlaps(rb)) return true;
+        }
+    }
+    return false;
+}
+
 }  // namespace
 
 RefinementResult refineDistances(const RoutingProblem& prob,
@@ -194,52 +288,64 @@ RefinementResult refineDistances(const RoutingProblem& prob,
 
     // Lines 1-4: locate violating bits/pins and their targets.
     const std::vector<GroupDistanceReport> before =
-        analyzeDistances(prob, *routed, opts.distanceThresholdFraction);
+        analyzeDistances(prob, *routed, opts.distanceThresholdFraction,
+                         nullptr, &result.parallelStats);
     result.violatingGroupsBefore = countViolatingGroups(before);
     result.thresholds.assign(before.size(), -1);
     for (const GroupDistanceReport& r : before) {
         result.thresholds[static_cast<size_t>(r.groupIndex)] = r.threshold;
     }
 
+    // Wave schedule over the violating groups: a group may run once every
+    // earlier (lower-index) group whose search region overlaps its own
+    // has finished. Same-wave groups touch disjoint G-Cells, so their
+    // capacity checks and usage updates cannot interact — the outcome
+    // matches the sequential group order exactly, for any thread count.
+    struct Task {
+        const GroupDistanceReport* rep = nullptr;
+        std::vector<geom::Rect> region;
+        int wave = 0;
+    };
+    std::vector<Task> tasks;
     for (const GroupDistanceReport& rep : before) {
-        for (const PinDeviation& dev : rep.violations) {
-            ++result.pinsConsidered;
-            RoutedBit& bit = routed->bits[static_cast<size_t>(dev.routedBitIndex)];
-            const geom::Point pin =
-                bit.topo.pins()[static_cast<size_t>(dev.pinIndex)];
-            const Connection conn = findTerminalConnection(bit.topo, pin);
-            if (!conn.found) continue;
-
-            // A shift of s adds 2*s wire. Aim at matching the family's
-            // target distance (dst' = familyMax); fall back towards the
-            // minimum shift that still clears the threshold.
-            const int deficit = dev.familyMax - dev.distance;
-            const int sIdeal =
-                std::min(opts.maxDetourShift, (deficit + 1) / 2);
-            const int sMin = std::max(
-                1, (deficit - rep.threshold + 1) / 2);
-            if (sMin > opts.maxDetourShift) continue;
-
-            bool fixed = false;
-            for (int s = sIdeal; s >= sMin && !fixed; --s) {
-                for (const bool positive : {true, false}) {
-                    const Detour det = makeDetour(conn, s, positive);
-                    if (detourLegal(*routed, bit.topo, det, bit.hLayer,
-                                    bit.vLayer)) {
-                        applyDetour(routed, &bit, det);
-                        result.addedWirelength += 2L * s;
-                        fixed = true;
-                        break;
-                    }
-                }
+        if (rep.violations.empty()) continue;
+        Task t;
+        t.rep = &rep;
+        t.region = groupSearchRegion(opts, rep, *routed);
+        for (const Task& prior : tasks) {
+            if (t.wave <= prior.wave &&
+                regionsOverlap(t.region, prior.region)) {
+                t.wave = prior.wave + 1;
             }
-            if (fixed) ++result.pinsFixed;
         }
+        tasks.push_back(std::move(t));
     }
+    int waves = 0;
+    for (const Task& t : tasks) waves = std::max(waves, t.wave + 1);
+
+    parallel::ThreadPool pool(parallel::resolveThreads(opts.threads));
+    std::vector<GroupRefineOutcome> outcomes(tasks.size());
+    for (int wave = 0; wave < waves; ++wave) {
+        std::vector<int> members;
+        for (size_t t = 0; t < tasks.size(); ++t) {
+            if (tasks[t].wave == wave) members.push_back(static_cast<int>(t));
+        }
+        pool.parallelFor(static_cast<int>(members.size()), [&](int k) {
+            const int t = members[static_cast<size_t>(k)];
+            outcomes[static_cast<size_t>(t)] =
+                refineGroup(opts, *tasks[static_cast<size_t>(t)].rep, routed);
+        });
+    }
+    for (const GroupRefineOutcome& out : outcomes) {
+        result.pinsConsidered += out.pinsConsidered;
+        result.pinsFixed += out.pinsFixed;
+        result.addedWirelength += out.addedWirelength;
+    }
+    result.parallelStats.merge(pool.stats());
 
     const std::vector<GroupDistanceReport> after =
         analyzeDistances(prob, *routed, opts.distanceThresholdFraction,
-                         &result.thresholds);
+                         &result.thresholds, &result.parallelStats);
     result.violatingGroupsAfter = countViolatingGroups(after);
     return result;
 }

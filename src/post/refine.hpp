@@ -23,11 +23,18 @@ struct RefinementResult {
     long addedWirelength = 0;
     /// Initial per-group thresholds (reused for the "after" analysis).
     std::vector<int> thresholds;
+    /// Stats of the parallel distance analyses and detour waves.
+    parallel::RegionStats parallelStats;
 };
 
 /// Refine `routed` in place. Thresholds derive from the initial distances
 /// per the paper (thresholdFraction of the max initial source-to-sink
 /// distance per group).
+///
+/// Groups whose detour search regions touch disjoint G-Cell rectangles
+/// refine concurrently (`prob.opts.threads`); conflicting groups are
+/// ordered into waves that preserve the sequential group order, so the
+/// refined design is byte-identical for every thread count.
 RefinementResult refineDistances(const RoutingProblem& prob,
                                  RoutedDesign* routed);
 

@@ -1,0 +1,110 @@
+// Golden end-to-end regression tables: frozen flow metrics for shrunk
+// synth1-7 configurations. The flow is deterministic (including its
+// parallel stages — see parallel_determinism_test), so any change in
+// these numbers is a real behaviour change: either a regression or an
+// intentional improvement that must be re-frozen and explained in the
+// commit message.
+//
+// Regenerating after an intentional change (one command, from the repo
+// root, after a dev-preset build):
+//
+//   STREAK_GOLDEN_REGEN=1 ./build/tests/golden_flow_test
+//
+// and paste the printed rows over the kGolden table below.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+
+namespace streak {
+namespace {
+
+struct GoldenRow {
+    int suite;  // synthSpec index
+    int totalBits;
+    int routedBits;
+    long wirelength;
+    double avgRegularity;
+    long totalOverflow;
+    long totalViaOverflow;
+    int violationsBefore;
+    int violationsAfter;
+};
+
+/// Shrunk synth suites so the whole table runs in seconds: fewer groups
+/// on a smaller grid, everything else (style mix, blockages, multipin
+/// fractions, seeds) exactly as in the full suites.
+gen::SuiteSpec goldenSpec(int suite) {
+    gen::SuiteSpec spec = gen::synthSpec(suite);
+    spec.numGroups = 5;
+    spec.gridWidth = 48;
+    spec.gridHeight = 48;
+    spec.numBlockages = spec.numBlockages < 3 ? spec.numBlockages : 3;
+    return spec;
+}
+
+GoldenRow measure(int suite) {
+    const Design d = gen::generate(goldenSpec(suite));
+    StreakOptions opts;
+    opts.postOptimize = true;
+    const StreakResult r = runStreak(d, opts);
+    GoldenRow row;
+    row.suite = suite;
+    row.totalBits = r.metrics.totalBits;
+    row.routedBits = r.metrics.routedBits;
+    row.wirelength = r.metrics.wirelength;
+    row.avgRegularity = r.metrics.avgRegularity;
+    row.totalOverflow = r.metrics.totalOverflow;
+    row.totalViaOverflow = r.metrics.totalViaOverflow;
+    row.violationsBefore = r.distanceViolationsBefore;
+    row.violationsAfter = r.distanceViolationsAfter;
+    return row;
+}
+
+// Frozen with the primal-dual solver and full post optimization.
+constexpr GoldenRow kGolden[] = {
+    {1, 42, 42, 571, 1, 0, 0, 1, 0},
+    {2, 37, 37, 438, 1, 0, 0, 0, 0},
+    {3, 34, 34, 511, 1, 0, 0, 0, 0},
+    {4, 60, 60, 887, 1, 0, 0, 1, 0},
+    {5, 41, 41, 762, 0.88888888888888884, 0, 0, 2, 0},
+    {6, 109, 107, 1651, 0.78642857142857148, 0, 0, 2, 3},
+    {7, 67, 67, 1036, 0.875, 0, 0, 3, 0},
+};
+
+bool regenRequested() {
+    const char* env = std::getenv("STREAK_GOLDEN_REGEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(GoldenFlow, MetricsMatchFrozenTable) {
+    if (regenRequested()) {
+        for (const GoldenRow& expected : kGolden) {
+            const GoldenRow got = measure(expected.suite);
+            std::printf("    {%d, %d, %d, %ld, %.17g, %ld, %ld, %d, %d},\n",
+                        got.suite, got.totalBits, got.routedBits,
+                        got.wirelength, got.avgRegularity, got.totalOverflow,
+                        got.totalViaOverflow, got.violationsBefore,
+                        got.violationsAfter);
+        }
+        GTEST_SKIP() << "regenerated rows printed; paste over kGolden";
+    }
+    for (const GoldenRow& expected : kGolden) {
+        SCOPED_TRACE("synth" + std::to_string(expected.suite));
+        const GoldenRow got = measure(expected.suite);
+        EXPECT_EQ(got.totalBits, expected.totalBits);
+        EXPECT_EQ(got.routedBits, expected.routedBits);
+        EXPECT_EQ(got.wirelength, expected.wirelength);
+        EXPECT_DOUBLE_EQ(got.avgRegularity, expected.avgRegularity);
+        EXPECT_EQ(got.totalOverflow, expected.totalOverflow);
+        EXPECT_EQ(got.totalViaOverflow, expected.totalViaOverflow);
+        EXPECT_EQ(got.violationsBefore, expected.violationsBefore);
+        EXPECT_EQ(got.violationsAfter, expected.violationsAfter);
+    }
+}
+
+}  // namespace
+}  // namespace streak

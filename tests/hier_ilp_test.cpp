@@ -55,6 +55,67 @@ TEST(FilterProblem, PairBlocksSliced) {
     }
 }
 
+TEST(FilterProblem, EmptyKeepListsYieldEmptyCandidateSets) {
+    Design d = twoGroupDesign();
+    d.groups[0].bits[2].pins[1] = {12, 4 + 2 + 6};
+    d.groups[0].bits[3].pins[1] = {12, 4 + 3 + 6};
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    ASSERT_FALSE(prob.pairBlocks.empty());
+    // Keep nothing anywhere: every candidate list collapses to empty and
+    // pair blocks with an empty side are dropped outright (an empty cost
+    // matrix would be dead weight in the stage ILPs).
+    const std::vector<std::vector<int>> keep(prob.candidates.size());
+    const FilteredProblem f = filterProblem(prob, keep);
+    ASSERT_EQ(f.prob.candidates.size(), prob.candidates.size());
+    for (const auto& cands : f.prob.candidates) EXPECT_TRUE(cands.empty());
+    for (const auto& orig : f.toOriginal) EXPECT_TRUE(orig.empty());
+    EXPECT_TRUE(f.prob.pairBlocks.empty());
+    for (const auto& pairs : f.prob.pairsOf) EXPECT_TRUE(pairs.empty());
+}
+
+TEST(FilterProblem, MixedEmptyAndFullKeepLists) {
+    const Design d = twoGroupDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    ASSERT_GE(prob.numObjects(), 2);
+    // Object 0 keeps everything, the rest keep nothing.
+    std::vector<std::vector<int>> keep(prob.candidates.size());
+    keep[0].resize(prob.candidates[0].size());
+    for (size_t j = 0; j < keep[0].size(); ++j) {
+        keep[0][j] = static_cast<int>(j);
+    }
+    const FilteredProblem f = filterProblem(prob, keep);
+    EXPECT_EQ(f.prob.candidates[0].size(), prob.candidates[0].size());
+    for (size_t i = 1; i < f.prob.candidates.size(); ++i) {
+        EXPECT_TRUE(f.prob.candidates[i].empty());
+    }
+}
+
+TEST(FilterProblem, ToOriginalRoundTripsCandidates) {
+    const Design d = twoGroupDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    // Keep every second candidate, in order.
+    std::vector<std::vector<int>> keep(prob.candidates.size());
+    for (size_t i = 0; i < prob.candidates.size(); ++i) {
+        for (size_t j = 0; j < prob.candidates[i].size(); j += 2) {
+            keep[i].push_back(static_cast<int>(j));
+        }
+    }
+    const FilteredProblem f = filterProblem(prob, keep);
+    for (size_t i = 0; i < f.prob.candidates.size(); ++i) {
+        ASSERT_EQ(f.toOriginal[i].size(), f.prob.candidates[i].size());
+        for (size_t j = 0; j < f.prob.candidates[i].size(); ++j) {
+            // The mapped-back original candidate is the filtered one.
+            const int orig = f.toOriginal[i][j];
+            const RouteCandidate& a = f.prob.candidates[i][j];
+            const RouteCandidate& b =
+                prob.candidates[i][static_cast<size_t>(orig)];
+            EXPECT_EQ(a.cost, b.cost);
+            EXPECT_EQ(a.hLayer, b.hLayer);
+            EXPECT_EQ(a.vLayer, b.vLayer);
+        }
+    }
+}
+
 TEST(HierIlp, MatchesFlatIlpOnEasyDesign) {
     const Design d = twoGroupDesign();
     const RoutingProblem prob = buildProblem(d, StreakOptions{});

@@ -1,0 +1,135 @@
+// Thread-count invariance suite: the whole Streak flow must produce
+// byte-identical results for any `threads` setting. Every parallel seam
+// (candidate build, per-component ILP, distance analysis, refinement)
+// reduces in fixed index order, so a run with 8 threads serializes to
+// exactly the same string as the legacy sequential path (threads = 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+
+namespace streak {
+namespace {
+
+/// Canonical serialization of everything the flow decides: solver choices,
+/// metrics (exact doubles via hexfloat), distance violations and the full
+/// routed design with wire edges in sorted order (the wire is stored as an
+/// unordered_set, so iteration order must not leak into the string).
+std::string serializeResult(const StreakResult& r) {
+    std::ostringstream os;
+    os << std::hexfloat;
+
+    os << "chosen:";
+    for (const int c : r.solverSolution.chosen) os << ' ' << c;
+    os << "\nobjective: " << r.solverSolution.objective;
+    os << "\nmetrics: " << r.metrics.totalBits << ' ' << r.metrics.routedBits
+       << ' ' << r.metrics.routability << ' ' << r.metrics.wirelength << ' '
+       << r.metrics.avgRegularity << ' ' << r.metrics.totalOverflow << ' '
+       << r.metrics.overflowedEdges << ' ' << r.metrics.totalViaOverflow;
+    os << "\nviolations: " << r.distanceViolationsBefore << " -> "
+       << r.distanceViolationsAfter;
+
+    os << "\nunrouted:";
+    for (const auto& [obj, member] : r.routed.unroutedMembers) {
+        os << ' ' << obj << '/' << member;
+    }
+
+    for (const RoutedBit& bit : r.routed.bits) {
+        os << "\nbit g" << bit.groupIndex << " b" << bit.bitIndex << " obj"
+           << bit.objectIndex << " m" << bit.memberIndex << " cluster"
+           << bit.clusterKey << " layers " << bit.hLayer << '/' << bit.vLayer
+           << " wire";
+        std::vector<steiner::UnitEdge> edges(bit.topo.wire().begin(),
+                                             bit.topo.wire().end());
+        std::sort(edges.begin(), edges.end());
+        for (const steiner::UnitEdge& e : edges) {
+            os << ' ' << e.at.x << ',' << e.at.y << (e.horizontal ? 'H' : 'V');
+        }
+    }
+    os << '\n';
+    return os.str();
+}
+
+/// A scaled-down two-pin + multipin mix so the ILP variants finish fast.
+gen::SuiteSpec smallSpec(bool multipin) {
+    gen::SuiteSpec spec = gen::synthSpec(multipin ? 5 : 1);
+    spec.numGroups = 6;
+    spec.gridWidth = 48;
+    spec.gridHeight = 48;
+    return spec;
+}
+
+StreakResult runWithThreads(const Design& d, SolverKind solver, int threads) {
+    StreakOptions opts;
+    opts.solver = solver;
+    opts.postOptimize = true;
+    // Generous limit: determinism of the budget split is only guaranteed
+    // while no component hits its cap, so keep comfortably under it.
+    opts.ilpTimeLimitSeconds = 60.0;
+    opts.threads = threads;
+    return runStreak(d, opts);
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<std::tuple<SolverKind, bool>> {};
+
+TEST_P(ParallelDeterminism, FlowIsThreadCountInvariant) {
+    const auto [solver, multipin] = GetParam();
+    const Design d = gen::generate(smallSpec(multipin));
+
+    const StreakResult base = runWithThreads(d, solver, 1);
+    const std::string baseline = serializeResult(base);
+    EXPECT_EQ(base.threadsUsed, 1);
+    EXPECT_GT(base.metrics.routedBits, 0);
+
+    for (const int threads : {2, 8}) {
+        const StreakResult r = runWithThreads(d, solver, threads);
+        EXPECT_EQ(r.threadsUsed, threads);
+        const std::string got = serializeResult(r);
+        EXPECT_EQ(got, baseline)
+            << "solver " << static_cast<int>(solver) << " with " << threads
+            << " threads diverged from the sequential path";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, ParallelDeterminism,
+    ::testing::Combine(::testing::Values(SolverKind::PrimalDual,
+                                         SolverKind::Ilp,
+                                         SolverKind::IlpHierarchical),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ParallelDeterminism::ParamType>& info) {
+        const SolverKind solver = std::get<0>(info.param);
+        const std::string name =
+            solver == SolverKind::Ilp               ? "Ilp"
+            : solver == SolverKind::IlpHierarchical ? "IlpHierarchical"
+                                                    : "PrimalDual";
+        return name + (std::get<1>(info.param) ? "Multipin" : "TwoPin");
+    });
+
+TEST(ParallelDeterminism, RepeatedRunsAreIdentical) {
+    // Same thread count twice: catches nondeterminism that thread-count
+    // sweeps alone can miss (e.g. time-dependent tie breaking).
+    const Design d = gen::generate(smallSpec(false));
+    const std::string a =
+        serializeResult(runWithThreads(d, SolverKind::PrimalDual, 8));
+    const std::string b =
+        serializeResult(runWithThreads(d, SolverKind::PrimalDual, 8));
+    EXPECT_EQ(a, b);
+}
+
+TEST(ParallelDeterminism, StatsReflectRequestedThreads) {
+    const Design d = gen::generate(smallSpec(false));
+    const StreakResult r = runWithThreads(d, SolverKind::PrimalDual, 2);
+    EXPECT_EQ(r.buildParallel.threads, 2);
+    EXPECT_GT(r.buildParallel.regions, 0);
+    EXPECT_GT(r.distanceParallel.tasks, 0);
+}
+
+}  // namespace
+}  // namespace streak

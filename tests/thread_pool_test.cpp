@@ -1,0 +1,156 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace streak::parallel {
+namespace {
+
+TEST(ResolveThreads, PositivePassesThrough) {
+    EXPECT_EQ(resolveThreads(1), 1);
+    EXPECT_EQ(resolveThreads(5), 5);
+}
+
+TEST(ResolveThreads, NonPositiveMeansHardware) {
+    EXPECT_EQ(resolveThreads(0), hardwareThreads());
+    EXPECT_EQ(resolveThreads(-3), hardwareThreads());
+    EXPECT_GE(hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneThread) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+    for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        constexpr int kN = 100;
+        std::vector<std::atomic<int>> visits(kN);
+        pool.parallelFor(kN, [&](int i) {
+            visits[static_cast<size_t>(i)].fetch_add(1);
+        });
+        for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingleRegions) {
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(-2, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](int i) { calls += i + 1; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelMapCollectsInIndexOrder) {
+    for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const std::vector<int> squares =
+            pool.parallelMap<int>(50, [](int i) { return i * i; });
+        ASSERT_EQ(squares.size(), 50u);
+        for (int i = 0; i < 50; ++i) {
+            EXPECT_EQ(squares[static_cast<size_t>(i)], i * i);
+        }
+    }
+}
+
+TEST(ThreadPool, OrderedReduceFoldsInStrictIndexOrder) {
+    // The fold concatenates, so any reordering would change the string.
+    for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        std::string folded;
+        pool.orderedReduce<std::string>(
+            26, [](int i) { return std::string(1, static_cast<char>('a' + i)); },
+            [&](int, std::string&& s) { folded += s; });
+        EXPECT_EQ(folded, "abcdefghijklmnopqrstuvwxyz");
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+    ThreadPool pool(4);
+    long total = 0;
+    for (int round = 0; round < 10; ++round) {
+        const std::vector<int> vals =
+            pool.parallelMap<int>(20, [round](int i) { return round + i; });
+        total += std::accumulate(vals.begin(), vals.end(), 0L);
+    }
+    // sum over rounds of (20*round + 0+1+...+19).
+    EXPECT_EQ(total, 10L * 190 + 20L * 45);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+    for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        try {
+            pool.parallelFor(64, [](int i) {
+                if (i % 7 == 3) {  // first failing index is 3
+                    throw std::runtime_error("task " + std::to_string(i));
+                }
+            });
+            FAIL() << "expected the region to rethrow";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
+}
+
+TEST(ThreadPool, PoolSurvivesAFailedRegion) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(8, [](int) { throw std::runtime_error("boom"); }),
+        std::runtime_error);
+    const std::vector<int> ok =
+        pool.parallelMap<int>(8, [](int i) { return i; });
+    ASSERT_EQ(ok.size(), 8u);
+    EXPECT_EQ(ok[7], 7);
+}
+
+TEST(ThreadPool, StatsCountRegionsAndTasks) {
+    ThreadPool pool(2);
+    pool.parallelFor(10, [](int) {});
+    pool.parallelFor(5, [](int) {});
+    const RegionStats& s = pool.stats();
+    EXPECT_EQ(s.threads, 2);
+    EXPECT_EQ(s.regions, 2);
+    EXPECT_EQ(s.tasks, 15);
+    EXPECT_GE(s.wallSeconds, 0.0);
+    EXPECT_GE(s.taskSeconds, 0.0);
+}
+
+TEST(RegionStats, MergeTakesMaxThreadsAndSums) {
+    RegionStats a;
+    a.threads = 2;
+    a.regions = 1;
+    a.tasks = 10;
+    a.wallSeconds = 1.0;
+    a.taskSeconds = 2.0;
+    RegionStats b;
+    b.threads = 4;
+    b.regions = 3;
+    b.tasks = 5;
+    b.wallSeconds = 0.5;
+    b.taskSeconds = 1.0;
+    a.merge(b);
+    EXPECT_EQ(a.threads, 4);
+    EXPECT_EQ(a.regions, 4);
+    EXPECT_EQ(a.tasks, 15);
+    EXPECT_DOUBLE_EQ(a.wallSeconds, 1.5);
+    EXPECT_DOUBLE_EQ(a.taskSeconds, 3.0);
+    EXPECT_DOUBLE_EQ(a.speedupEstimate(), 2.0);
+}
+
+TEST(RegionStats, SpeedupDefaultsToOneWithoutWallTime) {
+    const RegionStats s;
+    EXPECT_DOUBLE_EQ(s.speedupEstimate(), 1.0);
+}
+
+}  // namespace
+}  // namespace streak::parallel

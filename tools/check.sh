@@ -5,10 +5,12 @@
 #   2. clang-tidy curated ruleset   (skipped when clang-tidy is absent)
 #   3. -Werror build                (CMake preset `werror`)
 #   4. sanitizer smoke test         (preset `asan-ubsan`, flow_test)
+#   5. ThreadSanitizer              (preset `tsan`, thread pool +
+#                                    determinism tests)
 #
 # Usage:  tools/check.sh [--full]
-#   --full   run the entire ctest suite (not just flow_test) under
-#            ASan/UBSan; slower but what CI should do.
+#   --full   run the entire ctest suite (not just the smoke subsets)
+#            under ASan/UBSan and TSan; slower but what CI should do.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,12 +19,12 @@ FULL=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/4] project lint pass =="
+echo "== [1/5] project lint pass =="
 cmake --preset dev >/dev/null
 cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
 ./build/tools/streak_lint src
 
-echo "== [2/4] clang-tidy =="
+echo "== [2/5] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # The dev preset exports compile_commands.json.
     mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
@@ -31,11 +33,11 @@ else
     echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
 fi
 
-echo "== [3/4] -Werror build =="
+echo "== [3/5] -Werror build =="
 cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 
-echo "== [4/4] ASan/UBSan =="
+echo "== [4/5] ASan/UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 if [[ "$FULL" == 1 ]]; then
@@ -44,6 +46,20 @@ else
     # Smoke: the end-to-end flow exercises every stage (and, with
     # STREAK_CHECKS=deep baked into the preset, every stage auditor).
     ./build-asan/tests/flow_test
+fi
+
+echo "== [5/5] ThreadSanitizer =="
+cmake --preset tsan >/dev/null
+if [[ "$FULL" == 1 ]]; then
+    cmake --build --preset tsan -j "$JOBS"
+    ctest --preset tsan -j "$JOBS"
+else
+    # The pool's own unit tests plus the thread-count invariance suite
+    # cover every parallel seam in the flow.
+    cmake --build --preset tsan -j "$JOBS" \
+        --target thread_pool_test parallel_determinism_test
+    ./build-tsan/tests/thread_pool_test
+    ./build-tsan/tests/parallel_determinism_test
 fi
 
 echo "check.sh: all stages passed"

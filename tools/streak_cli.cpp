@@ -7,6 +7,8 @@
 // route options:
 //   --solver=pd|ilp        selection engine (default pd)
 //   --ilp-limit=<sec>      ILP time cap (default 60)
+//   --threads=<n>          worker threads (0 = hardware, 1 = serial);
+//                          results are identical for every value
 //   --no-post              skip post optimization
 //   --no-clustering        post-opt without bottom-up clustering
 //   --no-refinement        post-opt without distance refinement
@@ -35,9 +37,9 @@ int usage() {
               << "  streak generate <suite 1-7> <out.streak>\n"
               << "  streak info <design.streak>\n"
               << "  streak route <design.streak> [--solver=pd|ilp]"
-                 " [--ilp-limit=SEC] [--no-post] [--no-clustering]"
-                 " [--no-refinement] [--backbones=K] [--heatmap=FILE]"
-                 " [--quiet]\n";
+                 " [--ilp-limit=SEC] [--threads=N] [--no-post]"
+                 " [--no-clustering] [--no-refinement] [--backbones=K]"
+                 " [--heatmap=FILE] [--quiet]\n";
     return 2;
 }
 
@@ -101,6 +103,8 @@ int cmdRoute(int argc, char** argv) {
             opts.solver = SolverKind::IlpHierarchical;
         } else if (arg.rfind("--ilp-limit=", 0) == 0) {
             opts.ilpTimeLimitSeconds = std::atof(value("--ilp-limit=").c_str());
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opts.threads = std::atoi(value("--threads=").c_str());
         } else if (arg == "--no-post") {
             opts.postOptimize = false;
         } else if (arg == "--no-clustering") {
@@ -134,20 +138,31 @@ int cmdRoute(int argc, char** argv) {
               << r.distanceViolationsAfter << ", overflow "
               << r.metrics.totalOverflow << '\n';
     if (!quiet) {
-        io::Table t({"stage", "seconds"});
+        const auto speedup = [](const parallel::RegionStats& s) {
+            if (s.regions == 0) return std::string("-");
+            return io::Table::fixed(s.speedupEstimate(), 2) + "x";
+        };
+        io::Table t({"stage", "seconds", "speedup"});
         t.addRow({"build (identify+candidates)",
-                  io::Table::fixed(r.buildSeconds, 3)});
+                  io::Table::fixed(r.buildSeconds, 3),
+                  speedup(r.buildParallel)});
         const char* solverName =
             opts.solver == SolverKind::Ilp               ? "solve (ILP)"
             : opts.solver == SolverKind::IlpHierarchical ? "solve (hier. ILP)"
                                                          : "solve (primal-dual)";
         t.addRow({solverName,
                   io::Table::fixed(r.solveSeconds, 3) +
-                      (r.hitTimeLimit ? " (limit)" : "")});
-        t.addRow({"post optimization", io::Table::fixed(r.postSeconds, 3)});
+                      (r.hitTimeLimit ? " (limit)" : ""),
+                  speedup(r.solveParallel)});
+        t.addRow({"distance analysis",
+                  io::Table::fixed(r.distanceSeconds, 3),
+                  speedup(r.distanceParallel)});
+        t.addRow({"post optimization", io::Table::fixed(r.postSeconds, 3),
+                  speedup(r.postParallel)});
         t.print(std::cout);
-        std::cout << "objects: " << r.problem.numObjects() << ", unrouted bits: "
-                  << r.routed.unroutedMembers.size() << '\n';
+        std::cout << "objects: " << r.problem.numObjects()
+                  << ", unrouted bits: " << r.routed.unroutedMembers.size()
+                  << ", threads: " << r.threadsUsed << '\n';
     }
     if (!heatmapPath.empty()) {
         std::ofstream os(heatmapPath);
