@@ -29,7 +29,7 @@ int main() {
                       io::Table::percent(r.metrics.routability),
                       std::to_string(r.metrics.wirelength),
                       io::Table::percent(r.metrics.avgRegularity),
-                      io::Table::fixed(r.buildSeconds + r.solveSeconds, 3)});
+                      io::Table::fixed(r.buildSeconds() + r.solveSeconds(), 3)});
         }
         std::cout << "== Ablation (a): backbone candidate count K ==\n";
         t.print(std::cout);

@@ -31,11 +31,11 @@ void runSeries(bool multipin, const char* title) {
         const StreakResult pd = runStreak(d, opts);
         table.addRow({spec.name, std::to_string(d.totalPins()),
                       std::to_string(d.numNets()),
-                      bench::cpuCell(ilp.solveSeconds, ilp.hitTimeLimit),
+                      bench::cpuCell(ilp.solveSeconds(), ilp.hitTimeLimit),
                       io::Table::percent(ilp.metrics.routability),
-                      bench::cpuCell(hilp.solveSeconds, hilp.hitTimeLimit),
+                      bench::cpuCell(hilp.solveSeconds(), hilp.hitTimeLimit),
                       io::Table::percent(hilp.metrics.routability),
-                      io::Table::fixed(pd.solveSeconds, 3),
+                      io::Table::fixed(pd.solveSeconds(), 3),
                       io::Table::percent(pd.metrics.routability)});
     }
     std::cout << "== " << title << " ==\n";

@@ -32,22 +32,22 @@ void runSweep(SolverKind solver, const char* title) {
         const StreakResult r = runStreak(d, opts);
 
         const double total =
-            r.buildSeconds + r.solveSeconds + r.distanceSeconds + r.postSeconds;
+            r.buildSeconds() + r.solveSeconds() + r.distanceSeconds() + r.postSeconds();
         if (threads == 1) serialTotal = total;
         parallel::RegionStats all;
-        all.merge(r.buildParallel);
-        all.merge(r.solveParallel);
-        all.merge(r.distanceParallel);
-        all.merge(r.postParallel);
+        all.merge(r.buildParallel());
+        all.merge(r.solveParallel());
+        all.merge(r.distanceParallel());
+        all.merge(r.postParallel());
         // Measured end-to-end speedup vs the pool's task/wall estimate.
         const std::string speedup =
             io::Table::fixed(total > 0.0 ? serialTotal / total : 1.0, 2) +
             "x (" + io::Table::fixed(all.speedupEstimate(), 2) + "x est)";
         table.addRow({std::to_string(threads),
-                      io::Table::fixed(r.buildSeconds, 3),
-                      io::Table::fixed(r.solveSeconds, 3),
-                      io::Table::fixed(r.distanceSeconds, 3),
-                      io::Table::fixed(r.postSeconds, 3),
+                      io::Table::fixed(r.buildSeconds(), 3),
+                      io::Table::fixed(r.solveSeconds(), 3),
+                      io::Table::fixed(r.distanceSeconds(), 3),
+                      io::Table::fixed(r.postSeconds(), 3),
                       io::Table::fixed(total, 3), speedup,
                       std::to_string(r.metrics.wirelength),
                       std::to_string(r.distanceViolationsAfter)});

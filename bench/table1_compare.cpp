@@ -21,6 +21,7 @@ int main() {
                      "ILP:Route", "ILP:WL", "ILP:Reg", "ILP:CPU(s)",
                      "PD:Route", "PD:WL", "PD:Reg", "PD:CPU(s)"});
 
+    bench::JsonLog log("streak");
     double manR = 0, ilpR = 0, pdR = 0, ilpReg = 0, pdReg = 0;
     long manWl = 0, ilpWl = 0, pdWl = 0;
     for (int i = 1; i <= 7; ++i) {
@@ -28,10 +29,13 @@ int main() {
         const route::SequentialResult man = route::routeSequential(d);
 
         StreakOptions opts = bench::baseOptions();
+        opts.observer = bench::observeNothing;  // collect counters
         opts.solver = SolverKind::Ilp;
         const StreakResult ilp = runStreak(d, opts);
         opts.solver = SolverKind::PrimalDual;
         const StreakResult pd = runStreak(d, opts);
+        log.add(d, "ilp", ilp);
+        log.add(d, "pd", pd);
 
         table.addRow({d.name, std::to_string(d.numGroups()),
                       std::to_string(d.numNets()), std::to_string(d.maxPins()),
@@ -41,11 +45,11 @@ int main() {
                       io::Table::percent(ilp.metrics.routability),
                       std::to_string(ilp.metrics.wirelength),
                       io::Table::percent(ilp.metrics.avgRegularity),
-                      bench::cpuCell(ilp.solveSeconds, ilp.hitTimeLimit),
+                      bench::cpuCell(ilp.solveSeconds(), ilp.hitTimeLimit),
                       io::Table::percent(pd.metrics.routability),
                       std::to_string(pd.metrics.wirelength),
                       io::Table::percent(pd.metrics.avgRegularity),
-                      bench::cpuCell(pd.solveSeconds, false)});
+                      bench::cpuCell(pd.solveSeconds(), false)});
 
         manR += man.routability();
         manWl += man.wirelength;
@@ -73,5 +77,6 @@ int main() {
 
     std::cout << "== Table I: manual vs ILP vs primal-dual ==\n";
     table.print(std::cout);
+    log.write();
     return 0;
 }

@@ -24,19 +24,22 @@ struct Totals {
 };
 
 void runSide(const streak::Design& d, streak::SolverKind solver,
-             streak::io::Table* table, Totals* totals) {
+             streak::io::Table* table, Totals* totals,
+             streak::bench::JsonLog* log) {
     using namespace streak;
     StreakOptions opts = bench::baseOptions();
     opts.solver = solver;
     opts.postOptimize = true;
+    opts.observer = bench::observeNothing;  // collect counters
     const StreakResult r = runStreak(d, opts);
+    log->add(d, solver == SolverKind::Ilp ? "ilp+post" : "pd+post", r);
     table->addRow({d.name,
                    std::to_string(r.distanceViolationsBefore),
                    std::to_string(r.distanceViolationsAfter),
                    io::Table::percent(r.metrics.routability),
                    std::to_string(r.metrics.wirelength),
                    io::Table::percent(r.metrics.avgRegularity),
-                   bench::cpuCell(r.solveSeconds + r.postSeconds,
+                   bench::cpuCell(r.solveSeconds() + r.postSeconds(),
                                   r.hitTimeLimit)});
     totals->vioBefore += r.distanceViolationsBefore;
     totals->vioAfter += r.distanceViolationsAfter;
@@ -62,11 +65,12 @@ int main() {
                         "Avg(Reg)", "CPU(s)"});
     io::Table pdTable({"Bench", "Vio(dst)", "Vio(dst)'", "Route", "WL",
                        "Avg(Reg)", "CPU(s)"});
+    bench::JsonLog log("table2_postopt");
     Totals ilpTotals, pdTotals;
     for (int i = 1; i <= 7; ++i) {
         const Design d = gen::makeSynth(i);
-        runSide(d, SolverKind::Ilp, &ilpTable, &ilpTotals);
-        runSide(d, SolverKind::PrimalDual, &pdTable, &pdTotals);
+        runSide(d, SolverKind::Ilp, &ilpTable, &ilpTotals, &log);
+        runSide(d, SolverKind::PrimalDual, &pdTable, &pdTotals, &log);
     }
     addAverage(&ilpTable, ilpTotals);
     addAverage(&pdTable, pdTotals);
@@ -81,5 +85,6 @@ int main() {
               << io::Table::fixed(double(pdTotals.wl) / ilpTotals.wl, 4)
               << ", Avg(Reg) "
               << io::Table::fixed(pdTotals.reg / ilpTotals.reg, 4) << '\n';
+    log.write();
     return 0;
 }

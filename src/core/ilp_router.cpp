@@ -8,6 +8,8 @@
 #include "check/ilp_audit.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "ilp/model.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak {
 
@@ -217,6 +219,9 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
     }
 
     const auto solveComponent = [&](int comp) {
+        // Worker-side span: nests under the owning region's span through
+        // the thread pool's TaskContext, one per independent component.
+        STREAK_SPAN("ilp/component");
         const int root = components[static_cast<size_t>(comp)].first;
         const std::vector<int>& objs =
             components[static_cast<size_t>(comp)].second;
@@ -329,6 +334,11 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
         outcome.chosen.assign(pick.begin(), pick.end());
         return outcome;
     };
+
+    if (obs::detailEnabled()) {
+        obs::counter("ilp/router.components")
+            .add(static_cast<long long>(components.size()));
+    }
 
     // Components solve in parallel; outcomes merge in the (deterministic)
     // sorted component order, each touching a disjoint slice of `chosen`.

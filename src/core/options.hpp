@@ -2,9 +2,22 @@
 // ablations can tweak a single struct.
 #pragma once
 
+#include <functional>
+
 #include "core/backbone.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak {
+
+/// What StreakOptions::observer receives at the end of a run: the run's
+/// span tree and its counter/histogram deltas (see DESIGN.md
+/// "Observability"). The referenced data lives in the StreakResult being
+/// returned; copy what you keep.
+struct StreakObservation {
+    const obs::Trace& trace;
+    const obs::Snapshot& counters;
+};
 
 enum class SolverKind {
     PrimalDual,       // Alg. 2 (fast, near-ILP quality)
@@ -57,6 +70,13 @@ struct StreakOptions {
     double distanceThresholdFraction = 0.5;
     /// Maximum shift distance explored when twisting detours (Alg. 4).
     int maxDetourShift = 12;
+
+    // --- observability (DESIGN.md "Observability") ---
+    /// Called once at the end of runStreak with the run's span tree and
+    /// counter deltas. Setting it turns on detailed instrumentation
+    /// (hot-path spans + counters) for the run, so benches can consume
+    /// counters programmatically without touching the global gate.
+    std::function<void(const StreakObservation&)> observer;
 };
 
 }  // namespace streak

@@ -5,6 +5,8 @@
 
 #include "check/audit.hpp"
 #include "grid/routing_grid.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak {
 
@@ -96,6 +98,12 @@ public:
 
         result.solution.chosen = chosen_;
         result.solution.objective = solutionObjective(prob_, chosen_);
+        // Counters are accumulated locally above and flushed once, so the
+        // gate check is off the per-iteration path.
+        if (obs::detailEnabled()) {
+            obs::counter("solve/pd.iterations").add(result.iterations);
+            obs::counter("solve/pd.pruned_candidates").add(prunedCandidates_);
+        }
         // The dual bound certifies weak duality; a violation means the
         // capacity pruning admitted an infeasible pick somewhere.
         STREAK_INVARIANT(
@@ -151,6 +159,7 @@ private:
                 for (const auto& [edge, amount] : cands[j].edgeUse) {
                     if (usage_.remaining(edge) < amount) {
                         alive_[static_cast<size_t>(i)][j] = false;
+                        ++prunedCandidates_;
                         break;
                     }
                 }
@@ -158,6 +167,7 @@ private:
                 for (const auto& [cell, amount] : cands[j].viaUse) {
                     if (usage_.viaRemaining(cell) < amount) {
                         alive_[static_cast<size_t>(i)][j] = false;
+                        ++prunedCandidates_;
                         break;
                     }
                 }
@@ -170,11 +180,13 @@ private:
     std::vector<int> chosen_;
     std::vector<bool> decided_;
     std::vector<std::vector<bool>> alive_;
+    long prunedCandidates_ = 0;
 };
 
 }  // namespace
 
 PdResult solvePrimalDual(const RoutingProblem& prob) {
+    STREAK_SPAN("solve/pd");
     return PdState(prob).run();
 }
 

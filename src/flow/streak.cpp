@@ -1,11 +1,11 @@
 #include "flow/streak.hpp"
 
-#include <chrono>
-
 #include "check/audit.hpp"
 #include "core/hier_ilp.hpp"
 #include "core/ilp_router.hpp"
 #include "core/pd_solver.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "post/clustering.hpp"
 #include "post/refine.hpp"
 
@@ -13,34 +13,88 @@ namespace streak {
 
 namespace {
 
-class Stopwatch {
-public:
-    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-    [[nodiscard]] double seconds() const {
-        const std::chrono::duration<double> d =
-            std::chrono::steady_clock::now() - start_;
-        return d.count();
+/// Attach a stage's parallel-execution stats to its span so the span
+/// tree is the single record of the stage (see stageParallel()).
+void annotateStage(obs::SpanScope* span, const parallel::RegionStats& stats) {
+    span->addArg("threads", stats.threads);
+    span->addArg("regions", stats.regions);
+    span->addArg("tasks", static_cast<double>(stats.tasks));
+    span->addArg("wallSeconds", stats.wallSeconds);
+    span->addArg("taskSeconds", stats.taskSeconds);
+}
+
+/// Final per-edge utilization distribution (in percent of capacity, with
+/// > 100% overflow buckets) — the congestion signal aggregate Vio/WL
+/// numbers hide.
+void recordEdgeUtilization(const RoutedDesign& routed) {
+    static obs::Histogram& hist = obs::histogram(
+        "route/edge.utilization_pct", {10, 25, 50, 75, 90, 100, 125, 150, 200});
+    const grid::RoutingGrid& grid = routed.usage.grid();
+    for (int e = 0; e < grid.numEdges(); ++e) {
+        const int used = routed.usage.usage(e);
+        const int cap = grid.capacity(e);
+        if (cap <= 0) {
+            // Capacity-less edges only matter when something routed over
+            // them anyway; park those in the overflow bucket.
+            if (used > 0) hist.record(1000);
+            continue;
+        }
+        hist.record(100LL * used / cap);
     }
+}
+
+/// Enables detail instrumentation for the run when the caller asked for
+/// an observer; restores the previous global gate on scope exit.
+class DetailForRun {
+public:
+    explicit DetailForRun(bool wanted)
+        : previous_(obs::detailEnabled()) {
+        if (wanted) obs::setDetailEnabled(true);
+    }
+    ~DetailForRun() { obs::setDetailEnabled(previous_); }
+    DetailForRun(const DetailForRun&) = delete;
+    DetailForRun& operator=(const DetailForRun&) = delete;
 
 private:
-    std::chrono::steady_clock::time_point start_;
+    bool previous_;
 };
 
 }  // namespace
+
+parallel::RegionStats StreakResult::stageParallel(
+    std::string_view span) const {
+    parallel::RegionStats stats;
+    stats.threads = static_cast<int>(obs::spanArg(trace, span, "threads", 1));
+    stats.regions = static_cast<int>(obs::spanArg(trace, span, "regions", 0));
+    stats.tasks = static_cast<long>(obs::spanArg(trace, span, "tasks", 0));
+    stats.wallSeconds = obs::spanArg(trace, span, "wallSeconds", 0.0);
+    stats.taskSeconds = obs::spanArg(trace, span, "taskSeconds", 0.0);
+    return stats;
+}
 
 StreakResult runStreak(const Design& design, const StreakOptions& opts) {
     StreakResult result(design.grid);
     result.threadsUsed = parallel::resolveThreads(opts.threads);
 
+    // One traced run at a time: restart the span tree and remember the
+    // counter baseline so result.counters holds this run's deltas.
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.reset();
+    const DetailForRun detail(static_cast<bool>(opts.observer));
+    const obs::Snapshot countersBefore = obs::snapshotMetrics();
+    obs::SpanScope runSpan(stage::kRun);
+
     {
-        const Stopwatch sw;
-        result.problem = buildProblem(design, opts, &result.buildParallel);
-        result.buildSeconds = sw.seconds();
+        obs::SpanScope span(stage::kBuild);
+        parallel::RegionStats stats;
+        result.problem = buildProblem(design, opts, &stats);
+        annotateStage(&span, stats);
     }
     STREAK_DEEP_AUDIT(check::auditProblem(result.problem));
 
     {
-        const Stopwatch sw;
+        obs::SpanScope span(stage::kSolve);
+        parallel::RegionStats stats;
         if (opts.solver == SolverKind::Ilp ||
             opts.solver == SolverKind::IlpHierarchical) {
             // Warm-start the ILP from the (cheap) primal-dual solution —
@@ -58,13 +112,13 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
             result.solverSolution = std::move(ilp.solution);
             result.ilpNodes = ilp.nodesExplored;
             result.hitTimeLimit = ilp.hitTimeLimit;
-            result.solveParallel.merge(ilp.parallelStats);
+            stats.merge(ilp.parallelStats);
         } else {
             PdResult pd = solvePrimalDual(result.problem);
             result.solverSolution = std::move(pd.solution);
             result.pdIterations = pd.iterations;
         }
-        result.solveSeconds = sw.seconds();
+        annotateStage(&span, stats);
     }
     STREAK_DEEP_AUDIT(
         check::auditSolution(result.problem, result.solverSolution));
@@ -73,22 +127,24 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
     STREAK_DEEP_AUDIT(check::auditRoutedDesign(result.problem, result.routed));
 
     // The baseline distance analysis always runs (it feeds the reported
-    // Vio(dst) numbers) and is timed on its own: counting it into
-    // postSeconds used to inflate the post-stage timing that benches
-    // report even when postOptimize was off.
+    // Vio(dst) numbers) and is timed on its own: counting it into the
+    // post stage used to inflate the post timing that benches report
+    // even when postOptimize was off.
     std::vector<GroupDistanceReport> before;
     {
-        const Stopwatch sw;
+        obs::SpanScope span(stage::kDistance);
+        parallel::RegionStats stats;
         before = analyzeDistances(result.problem, result.routed,
                                   opts.distanceThresholdFraction, nullptr,
-                                  &result.distanceParallel);
+                                  &stats);
         result.distanceViolationsBefore = countViolatingGroups(before);
         result.distanceViolationsAfter = result.distanceViolationsBefore;
-        result.distanceSeconds = sw.seconds();
+        annotateStage(&span, stats);
     }
 
     {
-        const Stopwatch sw;
+        obs::SpanScope span(stage::kPost);
+        parallel::RegionStats stats;
         if (opts.postOptimize) {
             if (opts.clusteringEnabled) {
                 post::clusterAndRoute(result.problem, &result.routed);
@@ -99,7 +155,7 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
                 const post::RefinementResult ref =
                     post::refineDistances(result.problem, &result.routed);
                 result.distanceViolationsAfter = ref.violatingGroupsAfter;
-                result.postParallel.merge(ref.parallelStats);
+                stats.merge(ref.parallelStats);
             } else {
                 // Clustering may add bits; re-evaluate with the initial
                 // thresholds for a fair "after" number.
@@ -109,16 +165,24 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
                 }
                 const auto after = analyzeDistances(
                     result.problem, result.routed,
-                    opts.distanceThresholdFraction, &thresholds,
-                    &result.postParallel);
+                    opts.distanceThresholdFraction, &thresholds, &stats);
                 result.distanceViolationsAfter = countViolatingGroups(after);
             }
         }
-        result.postSeconds = sw.seconds();
+        annotateStage(&span, stats);
     }
     STREAK_DEEP_AUDIT(check::auditRoutedDesign(result.problem, result.routed));
 
     result.metrics = evaluate(result.problem, result.routed);
+    if (obs::detailEnabled()) recordEdgeUtilization(result.routed);
+
+    runSpan.addArg("threads", result.threadsUsed);
+    tracer.endSpan(runSpan.id());
+    result.trace = tracer.snapshot();
+    result.counters = obs::snapshotMetrics().minus(countersBefore);
+    if (opts.observer) {
+        opts.observer(StreakObservation{result.trace, result.counters});
+    }
     return result;
 }
 

@@ -13,6 +13,12 @@
 //
 // The caller owns the Design and must keep it alive while using the
 // result (the embedded RoutingProblem refers to it).
+//
+// Timing is span-based (DESIGN.md "Observability"): runStreak records a
+// span tree rooted at "flow/run" with one child per stage; the
+// buildSeconds()/solveSeconds()/... accessors and the per-stage
+// RegionStats derive from it, so the span tree is the single source of
+// truth for where the run's wall time went.
 #pragma once
 
 #include "core/distance.hpp"
@@ -20,9 +26,21 @@
 #include "core/options.hpp"
 #include "core/problem.hpp"
 #include "core/solution.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace streak {
+
+/// Span names of the flow stages (children of "flow/run"); the stage
+/// RegionStats are attached to these spans as span args.
+namespace stage {
+inline constexpr const char* kRun = "flow/run";
+inline constexpr const char* kBuild = "flow/build";
+inline constexpr const char* kSolve = "flow/solve";
+inline constexpr const char* kDistance = "flow/distance";
+inline constexpr const char* kPost = "flow/post";
+}  // namespace stage
 
 struct StreakResult {
     RoutingProblem problem;
@@ -35,25 +53,63 @@ struct StreakResult {
     int distanceViolationsBefore = 0;
     int distanceViolationsAfter = 0;
 
-    double buildSeconds = 0.0;
-    double solveSeconds = 0.0;
-    /// Baseline distance analysis (always runs, even without post
-    /// optimization; kept out of postSeconds so post-stage timings only
-    /// cover actual post-optimization work).
-    double distanceSeconds = 0.0;
-    double postSeconds = 0.0;
     bool hitTimeLimit = false;
     int pdIterations = 0;
     long ilpNodes = 0;
 
     /// Worker threads the parallel stages ran with (resolved, >= 1).
     int threadsUsed = 1;
-    /// Per-stage parallel region stats (threads, wall vs task seconds);
-    /// speedupEstimate() approximates the achieved parallel speedup.
-    parallel::RegionStats buildParallel;
-    parallel::RegionStats solveParallel;
-    parallel::RegionStats distanceParallel;
-    parallel::RegionStats postParallel;
+
+    /// The run's span tree (rooted at "flow/run"): stage spans always;
+    /// detailed solver/router spans when detail instrumentation was on.
+    obs::Trace trace;
+    /// Per-run counter / histogram deltas. Counter values are
+    /// byte-identical for every `threads` value (timestamps live only in
+    /// spans); populated with the hot-path counters only when detail
+    /// instrumentation was on for the run.
+    obs::Snapshot counters;
+
+    /// Wall seconds of a stage span (0 when absent from the trace).
+    [[nodiscard]] double stageSeconds(std::string_view span) const {
+        return obs::spanSeconds(trace, span);
+    }
+    /// A stage span's parallel-execution stats, reconstructed from the
+    /// span args the flow attached (all-zero when absent).
+    [[nodiscard]] parallel::RegionStats stageParallel(
+        std::string_view span) const;
+
+    // Derived accessors over the span tree, kept with the historical
+    // field names so benches and the CLI stage table read naturally.
+    [[nodiscard]] double buildSeconds() const {
+        return stageSeconds(stage::kBuild);
+    }
+    [[nodiscard]] double solveSeconds() const {
+        return stageSeconds(stage::kSolve);
+    }
+    /// Baseline distance analysis (always runs, even without post
+    /// optimization; kept out of postSeconds so post-stage timings only
+    /// cover actual post-optimization work).
+    [[nodiscard]] double distanceSeconds() const {
+        return stageSeconds(stage::kDistance);
+    }
+    [[nodiscard]] double postSeconds() const {
+        return stageSeconds(stage::kPost);
+    }
+    [[nodiscard]] double totalSeconds() const {
+        return stageSeconds(stage::kRun);
+    }
+    [[nodiscard]] parallel::RegionStats buildParallel() const {
+        return stageParallel(stage::kBuild);
+    }
+    [[nodiscard]] parallel::RegionStats solveParallel() const {
+        return stageParallel(stage::kSolve);
+    }
+    [[nodiscard]] parallel::RegionStats distanceParallel() const {
+        return stageParallel(stage::kDistance);
+    }
+    [[nodiscard]] parallel::RegionStats postParallel() const {
+        return stageParallel(stage::kPost);
+    }
 
     explicit StreakResult(const grid::RoutingGrid& grid) : routed(grid) {}
 };

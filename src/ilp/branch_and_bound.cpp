@@ -1,6 +1,5 @@
 #include "ilp/branch_and_bound.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <queue>
@@ -8,6 +7,8 @@
 
 #include "check/ilp_audit.hpp"
 #include "ilp/lp.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak::ilp {
 
@@ -40,12 +41,9 @@ Model applyFixings(const Model& base, const std::vector<std::int8_t>& fixed) {
 }  // namespace
 
 Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
-    const auto start = std::chrono::steady_clock::now();
-    const auto timeUp = [&] {
-        const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
-        return elapsed.count() > opts.timeLimitSeconds;
-    };
+    STREAK_SPAN("ilp/bnb");
+    const obs::Stopwatch watch;
+    const auto timeUp = [&] { return watch.seconds() > opts.timeLimitSeconds; };
 
     Solution incumbent;
     incumbent.status = SolveStatus::Limit;
@@ -61,6 +59,11 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
     long nodes = 0;
     bool limitHit = false;
     double bestOpenBound = -kInfinity;
+    // Pruning tallies, accumulated locally and flushed once at the end so
+    // the search loop never touches the registry (and totals stay
+    // identical for any number of concurrent component solves).
+    long prunedBound = 0;
+    long prunedInfeasible = 0;
 
     while (!open.empty()) {
         if (nodes >= opts.maxNodes || timeUp()) {
@@ -81,7 +84,10 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
         // Basis sanity / primal feasibility of every relaxation the tree
         // trusts for pruning decisions.
         STREAK_DEEP_AUDIT(check::auditLp(sub, lp));
-        if (lp.status == SolveStatus::Infeasible) continue;
+        if (lp.status == SolveStatus::Infeasible) {
+            ++prunedInfeasible;
+            continue;
+        }
         if (lp.status == SolveStatus::Unbounded) {
             Solution out;
             out.status = SolveStatus::Unbounded;
@@ -89,7 +95,10 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
             return out;
         }
         provenInfeasible = false;
-        if (lp.objective >= incumbentObj - opts.gapTolerance) continue;
+        if (lp.objective >= incumbentObj - opts.gapTolerance) {
+            ++prunedBound;
+            continue;
+        }
 
         // Find the most fractional integer variable (distance to the
         // nearest integer, i.e. closeness to 0.5).
@@ -120,6 +129,12 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
             child.fixed[static_cast<size_t>(branchVar)] = val;
             open.push(std::move(child));
         }
+    }
+
+    if (obs::detailEnabled()) {
+        obs::counter("ilp/bnb.nodes_explored").add(nodes);
+        obs::counter("ilp/bnb.pruned_bound").add(prunedBound);
+        obs::counter("ilp/bnb.pruned_infeasible").add(prunedInfeasible);
     }
 
     if (stats) {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "check/assert.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak::ilp {
 
@@ -79,6 +81,10 @@ public:
         return SolveStatus::Optimal;
     }
 
+    /// Pivots performed across both phases (flushed to the counter
+    /// registry by solveLp, keeping the pivot loop registry-free).
+    [[nodiscard]] long pivots() const { return pivots_; }
+
 private:
     [[nodiscard]] double objectiveOf(const std::vector<double>& cost) const {
         double v = 0.0;
@@ -142,6 +148,7 @@ private:
     }
 
     void pivot(int row, int col) {
+        ++pivots_;
         auto& prow = a_[static_cast<size_t>(row)];
         const double pv = prow[static_cast<size_t>(col)];
         STREAK_ASSERT(std::abs(pv) > kEps,
@@ -175,6 +182,7 @@ private:
     std::vector<double> b_;
     std::vector<double> red_;
     std::vector<int> basis_;
+    long pivots_ = 0;
 };
 
 }  // namespace
@@ -248,6 +256,10 @@ Solution solveLp(const Model& model) {
     std::vector<double> x;
     double obj = 0.0;
     sol.status = tableau.solve(cost, &x, &obj);
+    if (obs::detailEnabled()) {
+        obs::counter("ilp/lp.solves").add(1);
+        obs::counter("ilp/lp.pivots").add(tableau.pivots());
+    }
     if (sol.status != SolveStatus::Optimal) return sol;
     sol.values.assign(static_cast<size_t>(n), 0.0);
     for (int v = 0; v < n; ++v) {

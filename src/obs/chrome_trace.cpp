@@ -1,0 +1,88 @@
+#include "obs/chrome_trace.hpp"
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace streak::obs {
+
+namespace {
+
+json::Value event(const char* phase, const Span& span, double ts) {
+    json::Object ev;
+    ev.set("name", span.name);
+    ev.set("ph", phase);
+    ev.set("ts", ts * 1e6);  // trace-event timestamps are microseconds
+    ev.set("pid", 1);
+    ev.set("tid", span.thread);
+    return json::Value(std::move(ev));
+}
+
+/// DFS over one thread track: emit B(span), children in begin order,
+/// E(span) — balanced by construction because same-thread spans nest
+/// properly (they are RAII scopes on that thread).
+void emitSpan(const Trace& trace,
+              const std::vector<std::vector<int>>& children, int index,
+              json::Array* events) {
+    const Span& span = trace[static_cast<size_t>(index)];
+    if (span.endSeconds < 0.0) return;  // skip still-open spans
+
+    json::Value begin = event("B", span, span.startSeconds);
+    if (!span.args.empty()) {
+        json::Object args;
+        for (const auto& [key, value] : span.args) args.set(key, value);
+        json::Object withArgs = begin.asObject();
+        withArgs.set("args", json::Value(std::move(args)));
+        begin = json::Value(std::move(withArgs));
+    }
+    events->push_back(std::move(begin));
+    for (const int child : children[static_cast<size_t>(index)]) {
+        emitSpan(trace, children, child, events);
+    }
+    events->push_back(event("E", span, span.endSeconds));
+}
+
+}  // namespace
+
+void writeChromeTrace(const Trace& trace, std::ostream& os) {
+    // Group spans into per-thread trees: a span whose parent ran on a
+    // different thread (a task span under a region owner) becomes a root
+    // of its worker's track.
+    std::vector<std::vector<int>> children(trace.size());
+    std::vector<int> roots;
+    int maxThread = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const Span& span = trace[i];
+        maxThread = span.thread > maxThread ? span.thread : maxThread;
+        const int p = span.parent;
+        if (p >= 0 && p < static_cast<int>(trace.size()) &&
+            trace[static_cast<size_t>(p)].thread == span.thread) {
+            children[static_cast<size_t>(p)].push_back(static_cast<int>(i));
+        } else {
+            roots.push_back(static_cast<int>(i));
+        }
+    }
+
+    json::Array events;
+    for (int t = 0; t <= maxThread; ++t) {
+        json::Object meta;
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", 1);
+        meta.set("tid", t);
+        json::Object args;
+        args.set("name", t == 0 ? std::string("flow")
+                                : "worker-" + std::to_string(t));
+        meta.set("args", json::Value(std::move(args)));
+        events.push_back(json::Value(std::move(meta)));
+    }
+    for (const int root : roots) emitSpan(trace, children, root, &events);
+
+    json::Object doc;
+    doc.set("traceEvents", json::Value(std::move(events)));
+    doc.set("displayTimeUnit", "ms");
+    json::Value(std::move(doc)).write(os, 1);
+}
+
+}  // namespace streak::obs

@@ -1,0 +1,20 @@
+// chrome://tracing / Perfetto exporter for a recorded span tree
+// (DESIGN.md "Observability"): load the emitted file via chrome://tracing
+// "Load" or ui.perfetto.dev to see the run on a timeline, one track per
+// worker thread.
+#pragma once
+
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace streak::obs {
+
+/// Write `trace` in the Trace Event Format: a JSON object whose
+/// "traceEvents" array holds balanced B/E duration-event pairs (one pair
+/// per span, pid 1, tid = the span's worker track, ts in microseconds
+/// since the trace epoch) plus one thread_name metadata event per track.
+/// Span args are attached to the B event. Still-open spans are skipped.
+void writeChromeTrace(const Trace& trace, std::ostream& os);
+
+}  // namespace streak::obs

@@ -1,0 +1,130 @@
+#include "obs/counters.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "check/assert.hpp"
+
+namespace streak::obs {
+
+namespace {
+
+/// Name -> handle maps. Handles are heap-allocated once and never freed
+/// (process-lifetime registry), so references stay stable while the maps
+/// grow under the lock.
+struct RegistryState {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+RegistryState& registry() {
+    static RegistryState state;
+    return state;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<long long> upperBounds)
+    : upperBounds_(std::move(upperBounds)),
+      buckets_(upperBounds_.size() + 1) {
+    for (size_t i = 1; i < upperBounds_.size(); ++i) {
+        STREAK_REQUIRE(upperBounds_[i - 1] < upperBounds_[i],
+                       "histogram bounds must be strictly increasing "
+                       "({} then {} at position {})",
+                       upperBounds_[i - 1], upperBounds_[i], i);
+    }
+}
+
+void Histogram::record(long long value) {
+    size_t bucket = upperBounds_.size();  // overflow unless a bound fits
+    for (size_t i = 0; i < upperBounds_.size(); ++i) {
+        if (value <= upperBounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<long long> Histogram::counts() const {
+    std::vector<long long> out;
+    out.reserve(buckets_.size());
+    for (const std::atomic<long long>& b : buckets_) {
+        out.push_back(b.load(std::memory_order_relaxed));
+    }
+    return out;
+}
+
+Counter& counter(std::string_view name) {
+    RegistryState& state = registry();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.counters.find(name);
+    if (it != state.counters.end()) return *it->second;
+    return *state.counters.emplace(std::string(name),
+                                   std::make_unique<Counter>())
+                .first->second;
+}
+
+Histogram& histogram(std::string_view name,
+                     std::vector<long long> upperBounds) {
+    RegistryState& state = registry();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.histograms.find(name);
+    if (it != state.histograms.end()) return *it->second;
+    return *state.histograms
+                .emplace(std::string(name),
+                         std::make_unique<Histogram>(std::move(upperBounds)))
+                .first->second;
+}
+
+Snapshot snapshotMetrics() {
+    RegistryState& state = registry();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    Snapshot snap;
+    for (const auto& [name, c] : state.counters) {
+        snap.counters.emplace(name, c->value());
+    }
+    for (const auto& [name, h] : state.histograms) {
+        Snapshot::HistogramValues v;
+        v.upperBounds = h->upperBounds();
+        v.counts = h->counts();
+        v.total = h->total();
+        v.sum = h->sum();
+        snap.histograms.emplace(name, std::move(v));
+    }
+    return snap;
+}
+
+Snapshot Snapshot::minus(const Snapshot& base) const {
+    // Zero-delta entries are dropped: a counter another run bumped long
+    // ago should not show up in this run's report.
+    Snapshot out;
+    for (const auto& [name, value] : counters) {
+        const auto it = base.counters.find(name);
+        const long long delta =
+            value - (it == base.counters.end() ? 0 : it->second);
+        if (delta != 0) out.counters.emplace(name, delta);
+    }
+    for (const auto& [name, values] : histograms) {
+        HistogramValues v = values;
+        const auto it = base.histograms.find(name);
+        if (it != base.histograms.end()) {
+            STREAK_ASSERT(it->second.counts.size() == v.counts.size(),
+                          "histogram {} changed bucket count across "
+                          "snapshots ({} vs {})",
+                          name, it->second.counts.size(), v.counts.size());
+            for (size_t i = 0; i < v.counts.size(); ++i) {
+                v.counts[i] -= it->second.counts[i];
+            }
+            v.total -= it->second.total;
+            v.sum -= it->second.sum;
+        }
+        if (v.total != 0) out.histograms.emplace(name, std::move(v));
+    }
+    return out;
+}
+
+}  // namespace streak::obs

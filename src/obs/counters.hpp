@@ -1,0 +1,108 @@
+// Named monotonic counters and value histograms (DESIGN.md
+// "Observability").
+//
+// Counters follow the `stage/subsystem.metric` naming convention
+// ("solve/bnb.nodes_explored", "route/maze.pops"). They hold plain
+// integers updated by atomic adds — integer addition is commutative, so
+// totals are byte-identical for every thread count and schedule. The
+// determinism contract of the whole layer: counters never hold
+// timestamps or anything else schedule-dependent; wall time lives only
+// in spans.
+//
+// Hot-path usage pattern — resolve the handle once, accumulate locally,
+// flush behind the runtime detail gate:
+//
+//   static obs::Counter& pops = obs::counter("route/maze.pops");
+//   long long n = 0;
+//   ... ++n in the loop ...
+//   if (obs::detailEnabled()) pops.add(n);
+//
+// Histograms bucket values against fixed upper bounds; the last bucket
+// is an unbounded overflow bucket (how the per-edge utilization
+// distribution represents > 100% overflow).
+//
+// The registry is process-global; per-run values are obtained by
+// snapshot deltas (runStreak snapshots on entry and exit), so
+// instrumented code never needs resetting and handles stay valid for
+// the process lifetime.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streak::obs {
+
+/// Monotonic counter; add() is safe from any thread.
+class Counter {
+public:
+    void add(long long n) { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] long long value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<long long> value_{0};
+};
+
+/// Fixed-bucket histogram; record() is safe from any thread.
+class Histogram {
+public:
+    explicit Histogram(std::vector<long long> upperBounds);
+
+    /// Count `value` into the first bucket with value <= bound, or the
+    /// trailing overflow bucket.
+    void record(long long value);
+
+    [[nodiscard]] const std::vector<long long>& upperBounds() const {
+        return upperBounds_;
+    }
+    /// Bucket counts; size() == upperBounds().size() + 1 (overflow last).
+    [[nodiscard]] std::vector<long long> counts() const;
+    [[nodiscard]] long long total() const {
+        return total_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] long long sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<long long> upperBounds_;
+    std::vector<std::atomic<long long>> buckets_;
+    std::atomic<long long> total_{0};
+    std::atomic<long long> sum_{0};
+};
+
+/// Registry handle for a counter; creates it on first use. The returned
+/// reference is valid for the process lifetime.
+[[nodiscard]] Counter& counter(std::string_view name);
+
+/// Registry handle for a histogram; creates it (with these bounds) on
+/// first use. Re-registration with different bounds keeps the original.
+[[nodiscard]] Histogram& histogram(std::string_view name,
+                                   std::vector<long long> upperBounds);
+
+/// Point-in-time copy of every registered counter and histogram, plus
+/// delta arithmetic for per-run values.
+struct Snapshot {
+    struct HistogramValues {
+        std::vector<long long> upperBounds;
+        std::vector<long long> counts;  ///< bounds.size() + 1, overflow last
+        long long total = 0;
+        long long sum = 0;
+    };
+
+    std::map<std::string, long long> counters;
+    std::map<std::string, HistogramValues> histograms;
+
+    /// Everything this snapshot accumulated beyond `base` (counters /
+    /// histograms absent from `base` count from zero).
+    [[nodiscard]] Snapshot minus(const Snapshot& base) const;
+};
+
+/// Snapshot the whole registry.
+[[nodiscard]] Snapshot snapshotMetrics();
+
+}  // namespace streak::obs

@@ -1,0 +1,334 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace streak::obs::json {
+
+Value::Value(Array a) : kind_(Kind::Array), array_(std::make_shared<Array>(std::move(a))) {}
+Value::Value(Object o)
+    : kind_(Kind::Object), object_(std::make_shared<Object>(std::move(o))) {}
+
+const Array& Value::asArray() const {
+    static const Array kEmpty;
+    return array_ ? *array_ : kEmpty;
+}
+
+const Object& Value::asObject() const {
+    static const Object kEmpty;
+    return object_ ? *object_ : kEmpty;
+}
+
+const Value* Value::find(std::string_view key) const {
+    return kind_ == Kind::Object ? asObject().find(key) : nullptr;
+}
+
+Value& Object::set(std::string key, Value value) {
+    for (auto& [k, v] : items_) {
+        if (k == key) {
+            v = std::move(value);
+            return v;
+        }
+    }
+    items_.emplace_back(std::move(key), std::move(value));
+    return items_.back().second;
+}
+
+const Value* Object::find(std::string_view key) const {
+    for (const auto& [k, v] : items_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+void writeEscaped(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    const char* hex = "0123456789abcdef";
+                    os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+namespace {
+
+void writeNumber(std::ostream& os, double n) {
+    // Integers (the common case: counters, bucket counts) print exactly;
+    // reals round-trip through shortest-form via max_digits10.
+    if (std::nearbyint(n) == n && std::abs(n) < 9.007199254740992e15) {
+        os << static_cast<long long>(n);
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << n;
+    os << tmp.str();
+}
+
+void writeIndent(std::ostream& os, int indent, int depth) {
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+void writeValue(std::ostream& os, const Value& v, int indent, int depth) {
+    switch (v.kind()) {
+        case Kind::Null: os << "null"; return;
+        case Kind::Bool: os << (v.asBool() ? "true" : "false"); return;
+        case Kind::Number: writeNumber(os, v.asNumber()); return;
+        case Kind::String: writeEscaped(os, v.asString()); return;
+        case Kind::Array: {
+            const Array& a = v.asArray();
+            if (a.empty()) {
+                os << "[]";
+                return;
+            }
+            os << '[';
+            for (size_t i = 0; i < a.size(); ++i) {
+                if (i > 0) os << ',';
+                if (indent >= 0) writeIndent(os, indent, depth + 1);
+                writeValue(os, a[i], indent, depth + 1);
+            }
+            if (indent >= 0) writeIndent(os, indent, depth);
+            os << ']';
+            return;
+        }
+        case Kind::Object: {
+            const Object& o = v.asObject();
+            if (o.size() == 0) {
+                os << "{}";
+                return;
+            }
+            os << '{';
+            bool first = true;
+            for (const auto& [key, val] : o.items()) {
+                if (!first) os << ',';
+                first = false;
+                if (indent >= 0) writeIndent(os, indent, depth + 1);
+                writeEscaped(os, key);
+                os << (indent >= 0 ? ": " : ":");
+                writeValue(os, val, indent, depth + 1);
+            }
+            if (indent >= 0) writeIndent(os, indent, depth);
+            os << '}';
+            return;
+        }
+    }
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parseDocument(std::string* error) {
+        Value v = parseValue();
+        skipWhitespace();
+        if (!failed_ && pos_ != text_.size()) {
+            failed_ = true;
+            message_ = "trailing characters after the document";
+        }
+        if (failed_) {
+            if (error != nullptr) {
+                *error = message_ + " (at offset " + std::to_string(pos_) + ")";
+            }
+            return Value();
+        }
+        if (error != nullptr) error->clear();
+        return v;
+    }
+
+private:
+    void skipWhitespace() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Value fail(std::string message) {
+        if (!failed_) {
+            failed_ = true;
+            message_ = std::move(message);
+        }
+        return Value();
+    }
+
+    Value parseValue() {
+        skipWhitespace();
+        if (failed_ || pos_ >= text_.size()) return fail("unexpected end");
+        const char c = text_[pos_];
+        if (c == '{') return parseObject();
+        if (c == '[') return parseArray();
+        if (c == '"') return parseString();
+        if (c == 't' || c == 'f') return parseKeyword();
+        if (c == 'n') {
+            if (text_.compare(pos_, 4, "null") == 0) {
+                pos_ += 4;
+                return Value();
+            }
+            return fail("bad keyword");
+        }
+        return parseNumber();
+    }
+
+    Value parseKeyword() {
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return Value(true);
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return Value(false);
+        }
+        return fail("bad keyword");
+    }
+
+    Value parseNumber() {
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        double out = 0.0;
+        const auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                               text_.data() + pos_, out);
+        if (ec != std::errc() || ptr != text_.data() + pos_ || pos_ == start) {
+            return fail("bad number");
+        }
+        return Value(out);
+    }
+
+    Value parseString() {
+        if (!consume('"')) return fail("expected string");
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return Value(std::move(out));
+            if (c == '\\') {
+                if (pos_ >= text_.size()) break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 'r': out += '\r'; break;
+                    case 't': out += '\t'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    case 'u': {
+                        if (pos_ + 4 > text_.size()) return fail("bad \\u");
+                        int code = 0;
+                        for (int i = 0; i < 4; ++i) {
+                            const char h = text_[pos_++];
+                            code <<= 4;
+                            if (h >= '0' && h <= '9') code += h - '0';
+                            else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+                            else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+                            else return fail("bad \\u digit");
+                        }
+                        // Reports only emit \u00xx controls; encode the
+                        // BMP code point as UTF-8 without surrogate
+                        // handling (unused by our writers).
+                        if (code < 0x80) {
+                            out += static_cast<char>(code);
+                        } else if (code < 0x800) {
+                            out += static_cast<char>(0xc0 | (code >> 6));
+                            out += static_cast<char>(0x80 | (code & 0x3f));
+                        } else {
+                            out += static_cast<char>(0xe0 | (code >> 12));
+                            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                            out += static_cast<char>(0x80 | (code & 0x3f));
+                        }
+                        break;
+                    }
+                    default: return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Value parseArray() {
+        if (!consume('[')) return fail("expected array");
+        Array out;
+        skipWhitespace();
+        if (consume(']')) return Value(std::move(out));
+        for (;;) {
+            out.push_back(parseValue());
+            if (failed_) return Value();
+            skipWhitespace();
+            if (consume(']')) return Value(std::move(out));
+            if (!consume(',')) return fail("expected ',' or ']'");
+        }
+    }
+
+    Value parseObject() {
+        if (!consume('{')) return fail("expected object");
+        Object out;
+        skipWhitespace();
+        if (consume('}')) return Value(std::move(out));
+        for (;;) {
+            skipWhitespace();
+            Value key = parseString();
+            if (failed_) return Value();
+            skipWhitespace();
+            if (!consume(':')) return fail("expected ':'");
+            out.set(key.asString(), parseValue());
+            if (failed_) return Value();
+            skipWhitespace();
+            if (consume('}')) return Value(std::move(out));
+            if (!consume(',')) return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+    std::string message_;
+};
+
+}  // namespace
+
+void Value::write(std::ostream& os, int indent) const {
+    writeValue(os, *this, indent, 0);
+    if (indent >= 0) os << '\n';
+}
+
+std::string Value::dump(int indent) const {
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+Value parse(std::string_view text, std::string* error) {
+    return Parser(text).parseDocument(error);
+}
+
+}  // namespace streak::obs::json

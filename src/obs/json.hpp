@@ -1,0 +1,91 @@
+// Minimal zero-dependency JSON document model (DESIGN.md
+// "Observability"): enough of RFC 8259 to write the run report /
+// chrome://tracing exports and to parse them back in tests and the
+// report validator (tools/report_check). Not a general-purpose library —
+// no comments, no trailing commas, UTF-8 passed through untouched.
+//
+// Object keys keep insertion order on write (stable, diffable reports)
+// and are also addressable by name.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streak::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Insertion-ordered object: (key, value) pairs plus a name index.
+class Object {
+public:
+    Value& set(std::string key, Value value);
+    [[nodiscard]] const Value* find(std::string_view key) const;
+    [[nodiscard]] bool contains(std::string_view key) const {
+        return find(key) != nullptr;
+    }
+    [[nodiscard]] const std::vector<std::pair<std::string, Value>>& items()
+        const {
+        return items_;
+    }
+    [[nodiscard]] size_t size() const { return items_.size(); }
+
+private:
+    std::vector<std::pair<std::string, Value>> items_;
+};
+
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
+class Value {
+public:
+    Value() = default;  // null
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double n) : kind_(Kind::Number), number_(n) {}
+    Value(int n) : kind_(Kind::Number), number_(n) {}
+    Value(long n) : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+    Value(long long n) : kind_(Kind::Number), number_(static_cast<double>(n)) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(const char* s) : kind_(Kind::String), string_(s) {}
+    Value(Array a);
+    Value(Object o);
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
+    [[nodiscard]] bool asBool() const { return bool_; }
+    [[nodiscard]] double asNumber() const { return number_; }
+    [[nodiscard]] const std::string& asString() const { return string_; }
+    [[nodiscard]] const Array& asArray() const;
+    [[nodiscard]] const Object& asObject() const;
+
+    /// Member lookup; nullptr when not an object or the key is absent.
+    [[nodiscard]] const Value* find(std::string_view key) const;
+
+    /// Serialize. indent < 0 writes compact one-line JSON; >= 0 pretty-
+    /// prints with that many leading spaces per level.
+    void write(std::ostream& os, int indent = -1) const;
+    [[nodiscard]] std::string dump(int indent = -1) const;
+
+private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    // Indirection keeps Value movable/copyable despite the recursion.
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<Object> object_;
+};
+
+/// Parse a complete JSON document. On failure returns a Null value and
+/// stores a message in *error (when non-null); trailing garbage is an
+/// error.
+[[nodiscard]] Value parse(std::string_view text, std::string* error = nullptr);
+
+/// JSON string escaping (quotes included).
+void writeEscaped(std::ostream& os, std::string_view s);
+
+}  // namespace streak::obs::json

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "check/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace streak::parallel {
 
@@ -38,6 +39,9 @@ struct ThreadPool::Impl {
     // Current job (valid while busyWorkers > 0 or generation just bumped).
     const std::function<void(int)>* fn = nullptr;
     int taskCount = 0;
+    // Span that was current on the owning thread when the region started;
+    // workers adopt it so spans opened inside tasks attach under it.
+    int parentSpan = -1;
     std::atomic<int> nextTask{0};
     std::atomic<bool> failed{false};
     std::vector<std::exception_ptr> errors;  // per task index
@@ -68,9 +72,12 @@ struct ThreadPool::Impl {
         }
     }
 
-    void workerLoop() {
+    /// `track` is the worker's 1-based index: its span track id in the
+    /// trace (0 is the owning thread).
+    void workerLoop(int track) {
         long seenGeneration = 0;
         for (;;) {
+            int jobParentSpan = -1;
             {
                 std::unique_lock<std::mutex> lock(mutex);
                 wake.wait(lock, [&] {
@@ -78,8 +85,12 @@ struct ThreadPool::Impl {
                 });
                 if (shutdown) return;
                 seenGeneration = generation;
+                jobParentSpan = parentSpan;
             }
-            drain();
+            {
+                const obs::Tracer::TaskContext ctx(jobParentSpan, track);
+                drain();
+            }
             {
                 std::lock_guard<std::mutex> lock(mutex);
                 if (--busyWorkers == 0) done.notify_all();
@@ -114,11 +125,15 @@ void ThreadPool::runSerial(int n, const std::function<void(int)>& fn) {
 }
 
 void ThreadPool::runParallel(int n, const std::function<void(int)>& fn) {
+    // Gated region span: tasks that open spans (e.g. per-component ILP
+    // solves) nest under it across every worker track.
+    STREAK_SPAN("parallel/region");
     if (impl_ == nullptr) {
         impl_ = std::make_unique<Impl>();
         impl_->workers.reserve(static_cast<size_t>(threads_ - 1));
         for (int t = 0; t < threads_ - 1; ++t) {
-            impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+            impl_->workers.emplace_back(
+                [this, t] { impl_->workerLoop(t + 1); });
         }
     }
     Impl& im = *impl_;
@@ -127,6 +142,7 @@ void ThreadPool::runParallel(int n, const std::function<void(int)>& fn) {
                    threads_);
     im.fn = &fn;
     im.taskCount = n;
+    im.parentSpan = obs::Tracer::instance().currentSpan();
     im.nextTask.store(0, std::memory_order_relaxed);
     im.failed.store(false, std::memory_order_relaxed);
     im.errors.assign(static_cast<size_t>(n), nullptr);

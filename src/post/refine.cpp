@@ -6,6 +6,8 @@
 
 #include "core/candidate.hpp"
 #include "geom/rect.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak::post {
 
@@ -283,6 +285,7 @@ bool regionsOverlap(const std::vector<geom::Rect>& a,
 
 RefinementResult refineDistances(const RoutingProblem& prob,
                                  RoutedDesign* routed) {
+    STREAK_SPAN("post/refine");
     const StreakOptions& opts = prob.opts;
     RefinementResult result;
 
@@ -325,10 +328,17 @@ RefinementResult refineDistances(const RoutingProblem& prob,
 
     parallel::ThreadPool pool(parallel::resolveThreads(opts.threads));
     std::vector<GroupRefineOutcome> outcomes(tasks.size());
+    const bool detail = obs::detailEnabled();
     for (int wave = 0; wave < waves; ++wave) {
         std::vector<int> members;
         for (size_t t = 0; t < tasks.size(); ++t) {
             if (tasks[t].wave == wave) members.push_back(static_cast<int>(t));
+        }
+        if (detail) {
+            // Wave sizes expose how much independence the overlap
+            // scheduler found — the Fig. 13 scalability ceiling.
+            obs::histogram("post/refine.wave_size", {1, 2, 4, 8, 16, 32})
+                .record(static_cast<long long>(members.size()));
         }
         pool.parallelFor(static_cast<int>(members.size()), [&](int k) {
             const int t = members[static_cast<size_t>(k)];
@@ -342,6 +352,13 @@ RefinementResult refineDistances(const RoutingProblem& prob,
         result.addedWirelength += out.addedWirelength;
     }
     result.parallelStats.merge(pool.stats());
+    if (detail) {
+        obs::counter("post/refine.waves").add(waves);
+        obs::counter("post/refine.pins_considered").add(result.pinsConsidered);
+        obs::counter("post/refine.pins_fixed").add(result.pinsFixed);
+        obs::counter("post/refine.added_wirelength")
+            .add(result.addedWirelength);
+    }
 
     const std::vector<GroupDistanceReport> after =
         analyzeDistances(prob, *routed, opts.distanceThresholdFraction,

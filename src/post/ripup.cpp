@@ -5,6 +5,8 @@
 
 #include "check/audit.hpp"
 #include "grid/routing_grid.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak::post {
 
@@ -88,12 +90,15 @@ private:
 
 RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
                             int maxRounds) {
+    STREAK_SPAN("post/ripup");
     RipupResult result;
     UsageState state(prob);
     state.syncFrom(sol->chosen);
     std::set<int> everRipped;
 
+    int roundsRun = 0;
     for (int round = 0; round < maxRounds; ++round) {
+        ++roundsRun;
         bool progress = false;
         for (int i = 0; i < prob.numObjects(); ++i) {
             if (sol->chosen[static_cast<size_t>(i)] >= 0) continue;
@@ -148,6 +153,13 @@ RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
 
     for (const int v : everRipped) {
         if (sol->chosen[static_cast<size_t>(v)] < 0) ++result.objectsLost;
+    }
+    if (obs::detailEnabled()) {
+        obs::counter("post/ripup.rounds").add(roundsRun);
+        obs::counter("post/ripup.objects_ripped").add(result.objectsRipped);
+        obs::counter("post/ripup.objects_recovered")
+            .add(result.objectsRecovered);
+        obs::counter("post/ripup.objects_lost").add(result.objectsLost);
     }
     sol->objective = solutionObjective(prob, sol->chosen);
     // Rip-up must hand back a capacity-feasible assignment no matter how

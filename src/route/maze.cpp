@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "check/assert.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace streak::route {
 
@@ -19,10 +21,24 @@ struct QueueEntry {
     bool operator<(const QueueEntry& o) const { return dist > o.dist; }
 };
 
+/// Local push/pop tallies for one route() call, flushed once on exit
+/// (any path) so the Dijkstra loop never touches the registry.
+struct SearchTally {
+    long long pops = 0;
+    long long pushes = 0;
+
+    ~SearchTally() {
+        if (!obs::detailEnabled()) return;
+        obs::counter("route/maze.pops").add(pops);
+        obs::counter("route/maze.pushes").add(pushes);
+    }
+};
+
 }  // namespace
 
 std::optional<RoutedNet> MazeRouter::route(const std::vector<geom::Point>& pins,
                                            int driver) {
+    SearchTally tally;
     const grid::RoutingGrid& g = usage_->grid();
     STREAK_REQUIRE(!pins.empty(), "maze route called with no pins");
     STREAK_REQUIRE(driver >= 0 && driver < static_cast<int>(pins.size()),
@@ -96,12 +112,14 @@ std::optional<RoutedNet> MazeRouter::route(const std::vector<geom::Point>& pins,
         for (const int n : treeNodes) {
             dist[static_cast<size_t>(n)] = 0.0;
             pq.push({0.0, n});
+            ++tally.pushes;
         }
 
         int reached = -1;
         while (!pq.empty()) {
             const QueueEntry top = pq.top();
             pq.pop();
+            ++tally.pops;
             if (top.dist > dist[static_cast<size_t>(top.node)]) continue;
             const int x = nodeX(top.node);
             const int y = nodeY(top.node);
@@ -117,6 +135,7 @@ std::optional<RoutedNet> MazeRouter::route(const std::vector<geom::Point>& pins,
                     parent[static_cast<size_t>(nn)] = top.node;
                     parentEdge[static_cast<size_t>(nn)] = viaEdge;
                     pq.push({nd, nn});
+                    ++tally.pushes;
                 }
             };
             // Wire moves along the layer's direction.

@@ -1,8 +1,7 @@
 #include "route/sequential.hpp"
 
-#include <chrono>
-
 #include "check/assert.hpp"
+#include "obs/trace.hpp"
 #include "steiner/rsmt.hpp"
 
 namespace streak::route {
@@ -45,7 +44,7 @@ bool patternRoute(const Design& design, grid::EdgeUsage* usage,
 
 SequentialResult routeSequential(const Design& design,
                                  const MazeOptions& opts) {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Stopwatch watch;
     SequentialResult result(design.grid);
     MazeRouter router(&result.usage, opts);
 
@@ -88,9 +87,7 @@ SequentialResult routeSequential(const Design& design,
             }
         }
     }
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    result.seconds = elapsed.count();
+    result.seconds = watch.seconds();
     STREAK_ASSERT(result.routedBits <= result.totalBits,
                   "routed {} of {} bits", result.routedBits, result.totalBits);
     // Unless overflow is an explicitly modelled hand-design behaviour,

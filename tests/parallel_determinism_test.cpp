@@ -126,9 +126,9 @@ TEST(ParallelDeterminism, RepeatedRunsAreIdentical) {
 TEST(ParallelDeterminism, StatsReflectRequestedThreads) {
     const Design d = gen::generate(smallSpec(false));
     const StreakResult r = runWithThreads(d, SolverKind::PrimalDual, 2);
-    EXPECT_EQ(r.buildParallel.threads, 2);
-    EXPECT_GT(r.buildParallel.regions, 0);
-    EXPECT_GT(r.distanceParallel.tasks, 0);
+    EXPECT_EQ(r.buildParallel().threads, 2);
+    EXPECT_GT(r.buildParallel().regions, 0);
+    EXPECT_GT(r.distanceParallel().tasks, 0);
 }
 
 }  // namespace

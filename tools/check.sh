@@ -7,6 +7,9 @@
 #   4. sanitizer smoke test         (preset `asan-ubsan`, flow_test)
 #   5. ThreadSanitizer              (preset `tsan`, thread pool +
 #                                    determinism tests)
+#   6. observability exports        (route a generated design with
+#                                    --report/--trace, validate both with
+#                                    tools/report_check)
 #
 # Usage:  tools/check.sh [--full]
 #   --full   run the entire ctest suite (not just the smoke subsets)
@@ -19,12 +22,12 @@ FULL=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/5] project lint pass =="
+echo "== [1/6] project lint pass =="
 cmake --preset dev >/dev/null
 cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
 ./build/tools/streak_lint src
 
-echo "== [2/5] clang-tidy =="
+echo "== [2/6] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # The dev preset exports compile_commands.json.
     mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
@@ -33,11 +36,11 @@ else
     echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
 fi
 
-echo "== [3/5] -Werror build =="
+echo "== [3/6] -Werror build =="
 cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 
-echo "== [4/5] ASan/UBSan =="
+echo "== [4/6] ASan/UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 if [[ "$FULL" == 1 ]]; then
@@ -48,7 +51,7 @@ else
     ./build-asan/tests/flow_test
 fi
 
-echo "== [5/5] ThreadSanitizer =="
+echo "== [5/6] ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 if [[ "$FULL" == 1 ]]; then
     cmake --build --preset tsan -j "$JOBS"
@@ -61,5 +64,14 @@ else
     ./build-tsan/tests/thread_pool_test
     ./build-tsan/tests/parallel_determinism_test
 fi
+
+echo "== [6/6] observability exports =="
+cmake --build --preset dev --target streak_cli report_check -j "$JOBS" >/dev/null
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+./build/tools/streak generate 1 "$OBS_TMP/synth1.streak" >/dev/null
+./build/tools/streak route "$OBS_TMP/synth1.streak" \
+    --report="$OBS_TMP/report.json" --trace="$OBS_TMP/trace.json" --quiet
+./build/tools/report_check "$OBS_TMP/report.json" "$OBS_TMP/trace.json"
 
 echo "check.sh: all stages passed"

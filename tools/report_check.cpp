@@ -1,0 +1,204 @@
+// Validator for the observability exports (DESIGN.md "Observability"):
+//
+//   report_check <report.json> [<trace.json>]
+//
+// Checks the run report against the streak-run-report schema (header
+// fields, required sections, a "flow/run" root span) and, when given,
+// the chrome://tracing export for structural validity: every duration
+// event carries ph/ts/pid/tid/name, and each (pid, tid) track's B/E
+// events balance like a bracket sequence with matching names.
+//
+// Exits non-zero with a message per problem; check.sh runs it as the
+// last stage over a fresh `streak route --report --trace` run.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flow/report.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using streak::obs::json::Kind;
+using streak::obs::json::Value;
+
+int errors = 0;
+
+void fail(const std::string& message) {
+    std::cerr << "report_check: " << message << '\n';
+    ++errors;
+}
+
+Value parseFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        fail("cannot open " + path);
+        return Value();
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const Value doc = streak::obs::json::parse(buffer.str(), &error);
+    if (doc.isNull() && !error.empty()) fail(path + ": " + error);
+    return doc;
+}
+
+/// The key must exist and have the expected kind.
+const Value* requireField(const Value& obj, const std::string& key, Kind kind,
+                          const std::string& where) {
+    const Value* v = obj.find(key);
+    if (v == nullptr) {
+        fail(where + ": missing field \"" + key + "\"");
+        return nullptr;
+    }
+    if (v->kind() != kind) {
+        fail(where + ": field \"" + key + "\" has the wrong type");
+        return nullptr;
+    }
+    return v;
+}
+
+void checkSpanTree(const Value& span, const std::string& where) {
+    requireField(span, "name", Kind::String, where);
+    requireField(span, "track", Kind::Number, where);
+    requireField(span, "startSeconds", Kind::Number, where);
+    const Value* seconds = requireField(span, "seconds", Kind::Number, where);
+    if (seconds != nullptr && seconds->asNumber() < 0.0) {
+        fail(where + ": negative span duration");
+    }
+    if (const Value* children = span.find("children")) {
+        if (children->kind() != Kind::Array) {
+            fail(where + ": \"children\" is not an array");
+            return;
+        }
+        for (size_t i = 0; i < children->asArray().size(); ++i) {
+            checkSpanTree(children->asArray()[i],
+                          where + "/child[" + std::to_string(i) + "]");
+        }
+    }
+}
+
+void checkReport(const std::string& path) {
+    const Value doc = parseFile(path);
+    if (doc.isNull()) return;
+    if (doc.kind() != Kind::Object) {
+        fail(path + ": top level is not an object");
+        return;
+    }
+    const Value* schema =
+        requireField(doc, "schema", Kind::String, path);
+    if (schema != nullptr &&
+        schema->asString() != streak::flow::kReportSchema) {
+        fail(path + ": schema is \"" + schema->asString() + "\", expected \"" +
+             streak::flow::kReportSchema + "\"");
+    }
+    const Value* version =
+        requireField(doc, "schemaVersion", Kind::Number, path);
+    if (version != nullptr &&
+        static_cast<int>(version->asNumber()) !=
+            streak::flow::kReportSchemaVersion) {
+        fail(path + ": unsupported schemaVersion");
+    }
+    requireField(doc, "design", Kind::Object, path);
+    requireField(doc, "options", Kind::Object, path);
+    requireField(doc, "metrics", Kind::Object, path);
+    requireField(doc, "counters", Kind::Object, path);
+    requireField(doc, "histograms", Kind::Object, path);
+    const Value* spans = requireField(doc, "spans", Kind::Array, path);
+    if (spans == nullptr) return;
+    if (spans->asArray().empty()) {
+        fail(path + ": span tree is empty");
+        return;
+    }
+    bool haveRun = false;
+    for (const Value& root : spans->asArray()) {
+        const Value* name = root.find("name");
+        if (name != nullptr && name->kind() == Kind::String &&
+            name->asString() == streak::stage::kRun) {
+            haveRun = true;
+        }
+    }
+    if (!haveRun) {
+        fail(path + ": no root span named \"" +
+             std::string(streak::stage::kRun) + "\"");
+    }
+    for (size_t i = 0; i < spans->asArray().size(); ++i) {
+        checkSpanTree(spans->asArray()[i],
+                      path + ":span[" + std::to_string(i) + "]");
+    }
+}
+
+void checkTrace(const std::string& path) {
+    const Value doc = parseFile(path);
+    if (doc.isNull()) return;
+    const Value* events = requireField(doc, "traceEvents", Kind::Array, path);
+    if (events == nullptr) return;
+
+    // Per-(pid, tid) stack of open B event names.
+    std::map<std::pair<int, int>, std::vector<std::string>> open;
+    int durations = 0;
+    for (size_t i = 0; i < events->asArray().size(); ++i) {
+        const Value& ev = events->asArray()[i];
+        const std::string where = path + ":event[" + std::to_string(i) + "]";
+        const Value* ph = requireField(ev, "ph", Kind::String, where);
+        const Value* name = requireField(ev, "name", Kind::String, where);
+        const Value* pid = requireField(ev, "pid", Kind::Number, where);
+        const Value* tid = requireField(ev, "tid", Kind::Number, where);
+        if (ph == nullptr || name == nullptr || pid == nullptr ||
+            tid == nullptr) {
+            continue;
+        }
+        const std::pair<int, int> track{static_cast<int>(pid->asNumber()),
+                                        static_cast<int>(tid->asNumber())};
+        if (ph->asString() == "M") continue;  // metadata (thread_name)
+        if (ph->asString() != "B" && ph->asString() != "E") {
+            fail(where + ": unexpected phase \"" + ph->asString() + "\"");
+            continue;
+        }
+        requireField(ev, "ts", Kind::Number, where);
+        ++durations;
+        if (ph->asString() == "B") {
+            open[track].push_back(name->asString());
+        } else {
+            auto& stack = open[track];
+            if (stack.empty()) {
+                fail(where + ": E event with no open B on its track");
+            } else if (stack.back() != name->asString()) {
+                fail(where + ": E \"" + name->asString() +
+                     "\" does not match open B \"" + stack.back() + "\"");
+                stack.pop_back();
+            } else {
+                stack.pop_back();
+            }
+        }
+    }
+    for (const auto& [track, stack] : open) {
+        if (!stack.empty()) {
+            fail(path + ": track " + std::to_string(track.first) + "/" +
+                 std::to_string(track.second) + " has " +
+                 std::to_string(stack.size()) + " unclosed B event(s)");
+        }
+    }
+    if (durations == 0) fail(path + ": no duration events");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2 || argc > 3) {
+        std::cerr << "usage: report_check <report.json> [<trace.json>]\n";
+        return 2;
+    }
+    checkReport(argv[1]);
+    if (argc == 3) checkTrace(argv[2]);
+    if (errors > 0) {
+        std::cerr << "report_check: " << errors << " problem(s)\n";
+        return 1;
+    }
+    std::cout << "report_check: ok\n";
+    return 0;
+}

@@ -14,12 +14,23 @@
 //   --no-refinement        post-opt without distance refinement
 //   --backbones=<k>        backbone candidates per object (default 4)
 //   --heatmap=<file.csv>   dump the congestion map as CSV
+//   --report=<file.json>   write the schema-versioned run report (spans,
+//                          counters, metrics); turns on detail
+//                          instrumentation for the run
+//   --trace=<file.json>    write a chrome://tracing / Perfetto trace of
+//                          the run's span tree; also turns on detail
 //   --quiet                only the summary line
+//
+// The stage table's "speedup" column estimates per-stage parallel
+// speedup (task seconds / wall seconds); it is printed only when the
+// run used more than one thread.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "flow/report.hpp"
 #include "flow/streak.hpp"
 #include "gen/generator.hpp"
 #include "core/validate.hpp"
@@ -27,6 +38,7 @@
 #include "io/heatmap.hpp"
 #include "io/svg.hpp"
 #include "io/table.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace {
 
@@ -39,7 +51,12 @@ int usage() {
               << "  streak route <design.streak> [--solver=pd|ilp]"
                  " [--ilp-limit=SEC] [--threads=N] [--no-post]"
                  " [--no-clustering] [--no-refinement] [--backbones=K]"
-                 " [--heatmap=FILE] [--quiet]\n";
+                 " [--heatmap=FILE] [--report=FILE.json] [--trace=FILE.json]"
+                 " [--quiet]\n"
+              << "\n"
+                 "route prints a per-stage table; its speedup column"
+                 " (task seconds / wall seconds) appears only for"
+                 " multi-threaded runs.\n";
     return 2;
 }
 
@@ -89,6 +106,8 @@ int cmdRoute(int argc, char** argv) {
     opts.ilpTimeLimitSeconds = 60.0;
     std::string heatmapPath;
     std::string svgPath;
+    std::string reportPath;
+    std::string tracePath;
     bool quiet = false;
     for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -118,12 +137,22 @@ int cmdRoute(int argc, char** argv) {
             heatmapPath = value("--heatmap=");
         } else if (arg.rfind("--svg=", 0) == 0) {
             svgPath = value("--svg=");
+        } else if (arg.rfind("--report=", 0) == 0) {
+            reportPath = value("--report=");
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            tracePath = value("--trace=");
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
             std::cerr << "streak: unknown option " << arg << '\n';
             return 2;
         }
+    }
+
+    // Either export needs the detailed spans / counters; the observer
+    // hook is how a run opts into them.
+    if (!reportPath.empty() || !tracePath.empty()) {
+        opts.observer = [](const StreakObservation&) {};
     }
 
     const Design d = io::readDesignFile(path);
@@ -138,31 +167,59 @@ int cmdRoute(int argc, char** argv) {
               << r.distanceViolationsAfter << ", overflow "
               << r.metrics.totalOverflow << '\n';
     if (!quiet) {
+        // A single-threaded run has nothing to speed up — every stage
+        // would print "1.00x" noise — so the column only appears for
+        // multi-threaded runs.
+        const bool showSpeedup = r.threadsUsed > 1;
         const auto speedup = [](const parallel::RegionStats& s) {
             if (s.regions == 0) return std::string("-");
             return io::Table::fixed(s.speedupEstimate(), 2) + "x";
         };
-        io::Table t({"stage", "seconds", "speedup"});
-        t.addRow({"build (identify+candidates)",
-                  io::Table::fixed(r.buildSeconds, 3),
-                  speedup(r.buildParallel)});
+        std::vector<std::string> header{"stage", "seconds"};
+        if (showSpeedup) header.push_back("speedup");
+        io::Table t(header);
+        const auto addStage = [&](std::string name, std::string seconds,
+                                  const parallel::RegionStats& stats) {
+            std::vector<std::string> row{std::move(name), std::move(seconds)};
+            if (showSpeedup) row.push_back(speedup(stats));
+            t.addRow(row);
+        };
+        addStage("build (identify+candidates)",
+                 io::Table::fixed(r.buildSeconds(), 3), r.buildParallel());
         const char* solverName =
             opts.solver == SolverKind::Ilp               ? "solve (ILP)"
             : opts.solver == SolverKind::IlpHierarchical ? "solve (hier. ILP)"
                                                          : "solve (primal-dual)";
-        t.addRow({solverName,
-                  io::Table::fixed(r.solveSeconds, 3) +
-                      (r.hitTimeLimit ? " (limit)" : ""),
-                  speedup(r.solveParallel)});
-        t.addRow({"distance analysis",
-                  io::Table::fixed(r.distanceSeconds, 3),
-                  speedup(r.distanceParallel)});
-        t.addRow({"post optimization", io::Table::fixed(r.postSeconds, 3),
-                  speedup(r.postParallel)});
+        addStage(solverName,
+                 io::Table::fixed(r.solveSeconds(), 3) +
+                     (r.hitTimeLimit ? " (limit)" : ""),
+                 r.solveParallel());
+        addStage("distance analysis", io::Table::fixed(r.distanceSeconds(), 3),
+                 r.distanceParallel());
+        addStage("post optimization", io::Table::fixed(r.postSeconds(), 3),
+                 r.postParallel());
         t.print(std::cout);
         std::cout << "objects: " << r.problem.numObjects()
                   << ", unrouted bits: " << r.routed.unroutedMembers.size()
                   << ", threads: " << r.threadsUsed << '\n';
+    }
+    if (!reportPath.empty()) {
+        std::ofstream os(reportPath);
+        if (!os) {
+            std::cerr << "streak: cannot open " << reportPath << '\n';
+            return 1;
+        }
+        flow::writeRunReport(d, opts, r, os);
+        if (!quiet) std::cout << "wrote " << reportPath << '\n';
+    }
+    if (!tracePath.empty()) {
+        std::ofstream os(tracePath);
+        if (!os) {
+            std::cerr << "streak: cannot open " << tracePath << '\n';
+            return 1;
+        }
+        obs::writeChromeTrace(r.trace, os);
+        if (!quiet) std::cout << "wrote " << tracePath << '\n';
     }
     if (!heatmapPath.empty()) {
         std::ofstream os(heatmapPath);

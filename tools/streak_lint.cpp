@@ -15,6 +15,9 @@
 //                      `// lint-ok: float-eq` marker for exact-zero skips
 //   bare-assert        use STREAK_ASSERT / STREAK_REQUIRE (contextual
 //                      messages) instead of <cassert>
+//   raw-timing         raw std::chrono clock reads outside src/obs and
+//                      src/parallel; time code through obs::Stopwatch /
+//                      spans so all wall time flows into the trace
 //
 // A finding on a line carrying `lint-ok: <rule>` in a comment is
 // suppressed — the marker doubles as in-source documentation of why the
@@ -153,6 +156,13 @@ public:
         }
         const std::vector<std::string> code = stripCode(raw);
         const bool isHeader = path.extension() == ".hpp";
+        // The observability layer implements the sanctioned clocks and
+        // the thread pool's per-task timing feeds RegionStats; everyone
+        // else must go through obs::Stopwatch / spans.
+        const std::string pathStr = path.generic_string();
+        const bool timingExempt =
+            pathStr.find("/obs/") != std::string::npos ||
+            pathStr.find("/parallel/") != std::string::npos;
 
         if (isHeader) {
             const bool hasPragma =
@@ -244,6 +254,20 @@ public:
                 add(path, no, "bare-assert",
                     "bare assert() reports no context; use STREAK_ASSERT / "
                     "STREAK_REQUIRE / STREAK_INVARIANT");
+            }
+
+            if (!timingExempt && !suppressed("raw-timing")) {
+                for (const char* clock :
+                     {"steady_clock", "high_resolution_clock",
+                      "system_clock"}) {
+                    if (hasWord(line, clock)) {
+                        add(path, no, "raw-timing",
+                            std::string(clock) +
+                                " outside src/obs and src/parallel; time "
+                                "through obs::Stopwatch or spans");
+                        break;
+                    }
+                }
             }
         }
     }
