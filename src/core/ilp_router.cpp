@@ -315,6 +315,8 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
 
         ilp::BnbOptions bopts;
         bopts.timeLimitSeconds = budget[static_cast<size_t>(comp)];
+        bopts.lpEngine = prob.opts.lpEngine;
+        bopts.lpWarmStart = prob.opts.lpWarmStart;
         if (warmStart != nullptr) {
             bopts.initialUpperBound =
                 componentObjective(prob, objs, warmStart->chosen);

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "check/ilp_audit.hpp"
@@ -19,6 +21,10 @@ constexpr double kIntTol = 1e-6;
 struct Node {
     double bound;                    // parent LP bound (lower bound)
     std::vector<std::int8_t> fixed;  // -1 free, 0 / 1 fixed
+    /// Parent's final simplex basis: both children re-solve phase-2-only
+    /// from it (same rows, one variable's bounds tightened). Null at the
+    /// root and when warm starts are off.
+    std::shared_ptr<const LpBasis> warm;
 
     bool operator<(const Node& o) const { return bound > o.bound; }  // min-heap
 };
@@ -54,8 +60,10 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
     bool provenInfeasible = true;  // until a node is feasible at LP level
 
     std::priority_queue<Node> open;
-    open.push({-kInfinity, std::vector<std::int8_t>(
-                               static_cast<size_t>(model.numVariables()), -1)});
+    Node root;
+    root.bound = -kInfinity;
+    root.fixed.assign(static_cast<size_t>(model.numVariables()), -1);
+    open.push(std::move(root));
     long nodes = 0;
     bool limitHit = false;
     double bestOpenBound = -kInfinity;
@@ -80,7 +88,19 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
         ++nodes;
 
         const Model sub = applyFixings(model, node.fixed);
-        const Solution lp = solveLp(sub);
+        const bool useBounded = opts.lpEngine == LpEngine::Bounded;
+        auto finalBasis = std::make_shared<LpBasis>();
+        Solution lp;
+        if (useBounded) {
+            LpOptions lpOpts;
+            if (opts.lpWarmStart) {
+                lpOpts.warmBasis = node.warm.get();
+                lpOpts.basisOut = finalBasis.get();
+            }
+            lp = solveLp(sub, lpOpts);
+        } else {
+            lp = solveLpLegacy(sub);
+        }
         // Basis sanity / primal feasibility of every relaxation the tree
         // trusts for pruning decisions.
         STREAK_DEEP_AUDIT(check::auditLp(sub, lp));
@@ -122,11 +142,16 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
             }
             continue;
         }
+        const std::shared_ptr<const LpBasis> childWarm =
+            (useBounded && opts.lpWarmStart && !finalBasis->empty())
+                ? std::shared_ptr<const LpBasis>(std::move(finalBasis))
+                : nullptr;
         for (const std::int8_t val : {std::int8_t{1}, std::int8_t{0}}) {
             Node child;
             child.bound = lp.objective;
             child.fixed = node.fixed;
             child.fixed[static_cast<size_t>(branchVar)] = val;
+            child.warm = childWarm;
             open.push(std::move(child));
         }
     }

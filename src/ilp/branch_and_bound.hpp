@@ -4,6 +4,7 @@
 // node limits (used to reproduce the paper's ">3600 s" ILP timeout rows).
 #pragma once
 
+#include "ilp/lp.hpp"
 #include "ilp/model.hpp"
 
 namespace streak::ilp {
@@ -17,6 +18,12 @@ struct BnbOptions {
     /// result): nodes at or above it are pruned, so the search only looks
     /// for strictly better solutions. +inf disables.
     double initialUpperBound = kInfinity;
+    /// Simplex engine for the LP relaxations (Legacy is the slower
+    /// explicit-bound-row oracle, kept for cross-checks and benches).
+    LpEngine lpEngine = LpEngine::Bounded;
+    /// Re-solve child nodes phase-2-only from the parent's final simplex
+    /// basis (Bounded engine only); stale bases cold-solve automatically.
+    bool lpWarmStart = true;
 };
 
 struct BnbStats {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "check/assert.hpp"
@@ -13,6 +14,485 @@ namespace streak::ilp {
 namespace {
 
 constexpr double kEps = 1e-9;
+constexpr double kPivotTol = 1e-7;
+constexpr double kFeasTol = 1e-7;
+
+/// Local solve tallies, flushed once per solve call (any exit path) so
+/// the pivot loops never touch the counter registry.
+struct LpTally {
+    long long solves = 0;
+    long long pivots = 0;
+    long long boundFlips = 0;
+    long long warmStarts = 0;
+    long long warmFallbacks = 0;
+
+    ~LpTally() {
+        if (!obs::detailEnabled()) return;
+        obs::counter("ilp/lp.solves").add(solves);
+        obs::counter("ilp/lp.pivots").add(pivots);
+        obs::counter("ilp/lp.bound_flips").add(boundFlips);
+        obs::counter("ilp/lp.warm_starts").add(warmStarts);
+        obs::counter("ilp/lp.warm_fallbacks").add(warmFallbacks);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Bounded-variable simplex (the default engine)
+// ---------------------------------------------------------------------------
+
+/// Dense bounded-variable primal simplex on the flat row-major tableau
+///   min c^T x   s.t.  A x = b,  0 <= x_j <= u_j
+/// with u_j possibly infinite. Nonbasic variables sit at one of their
+/// bounds; a variable whose cheapest move runs into its opposite bound is
+/// *flipped* there in O(m) without a pivot. Column layout:
+/// [0, nStruct) structural + slack columns, then one artificial per row
+/// (the layout every warm-started child shares with its parent).
+class BoundedSimplex {
+public:
+    BoundedSimplex(int nStruct, int numRows)
+        : n_(nStruct), m_(numRows), total_(nStruct + numRows),
+          a_(static_cast<size_t>(numRows) *
+                 static_cast<size_t>(nStruct + numRows),
+             0.0),
+          b_(static_cast<size_t>(numRows), 0.0),
+          upper_(static_cast<size_t>(nStruct + numRows),
+                 std::numeric_limits<double>::infinity()),
+          atUpper_(static_cast<size_t>(nStruct + numRows), 0),
+          basis_(static_cast<size_t>(numRows), -1),
+          inBasis_(static_cast<size_t>(nStruct + numRows), 0) {}
+
+    double* row(int r) {
+        return &a_[static_cast<size_t>(r) * static_cast<size_t>(total_)];
+    }
+    void setRhs(int r, double v) { b_[static_cast<size_t>(r)] = v; }
+    void setUpper(int col, double u) { upper_[static_cast<size_t>(col)] = u; }
+    /// Initial basic column for a row (the slack for `<=` rows, else the
+    /// row's artificial); only meaningful before a cold solve().
+    void setInitialBasis(int r, int col) {
+        basis_[static_cast<size_t>(r)] = col;
+        inBasis_[static_cast<size_t>(col)] = 1;
+    }
+
+    [[nodiscard]] long pivots() const { return pivots_; }
+    [[nodiscard]] long boundFlips() const { return boundFlips_; }
+
+    /// Cold solve: phase 1 (minimize the artificial sum, pricing *all*
+    /// columns — restricting phase-1 pricing could misreport
+    /// infeasibility) then phase 2 (structural pricing only, artificials
+    /// pinned to zero).
+    SolveStatus solve(const std::vector<double>& cost, std::vector<double>* x,
+                      double* obj) {
+        xB_ = b_;  // nonbasics all start at their lower bound 0
+        std::vector<double> phase1(static_cast<size_t>(total_), 0.0);
+        for (int c = n_; c < total_; ++c) phase1[static_cast<size_t>(c)] = 1.0;
+        if (!runSimplex(phase1, total_)) return SolveStatus::Unbounded;
+        double infeas = 0.0;
+        for (int r = 0; r < m_; ++r) {
+            if (basis_[static_cast<size_t>(r)] >= n_) {
+                infeas += std::max(0.0, xB_[static_cast<size_t>(r)]);
+            }
+        }
+        if (infeas > 1e-6) return SolveStatus::Infeasible;
+        driveOutArtificials();
+        return phase2(cost, x, obj);
+    }
+
+    /// Warm solve: adopt `basis`, refactorize, and go straight to phase
+    /// 2. Returns false — caller must rebuild a fresh tableau and
+    /// cold-solve — when the basis is singular for the current matrix or
+    /// infeasible for the current bounds.
+    bool warmSolve(const LpBasis& basis, const std::vector<double>& cost,
+                   std::vector<double>* x, double* obj, SolveStatus* status) {
+        if (static_cast<int>(basis.basic.size()) != m_) return false;
+        if (static_cast<int>(basis.atUpper.size()) > n_) return false;
+        std::fill(inBasis_.begin(), inBasis_.end(), 0);
+        for (const int col : basis.basic) {
+            if (col < 0 || col >= total_) return false;
+            if (inBasis_[static_cast<size_t>(col)]) return false;  // duplicate
+            inBasis_[static_cast<size_t>(col)] = 1;
+        }
+        // Adopt nonbasic statuses (they shape xB below). A parent
+        // at-upper variable whose bound the child fixed to zero collapses
+        // to at-lower; both bounds are zero so the value is unchanged.
+        std::fill(atUpper_.begin(), atUpper_.end(), 0);
+        for (int j = 0; j < static_cast<int>(basis.atUpper.size()); ++j) {
+            if (!basis.atUpper[static_cast<size_t>(j)]) continue;
+            if (inBasis_[static_cast<size_t>(j)]) return false;
+            const double u = upper_[static_cast<size_t>(j)];
+            if (!std::isfinite(u)) return false;
+            if (u > 0.0) atUpper_[static_cast<size_t>(j)] = 1;
+        }
+        // Refactorize: Gauss-Jordan canonicalization over the warm basis
+        // columns (honest pivot work, counted in `pivots`).
+        for (int r = 0; r < m_; ++r) {
+            const int col = basis.basic[static_cast<size_t>(r)];
+            if (std::abs(valueAt(r, col)) <= kPivotTol) return false;  // singular
+            basis_[static_cast<size_t>(r)] = col;
+            pivot(r, col);
+        }
+        // Basic values under the adopted nonbasic statuses.
+        xB_ = b_;
+        for (int j = 0; j < n_; ++j) {
+            if (!atUpper_[static_cast<size_t>(j)]) continue;
+            const double u = upper_[static_cast<size_t>(j)];
+            for (int r = 0; r < m_; ++r) {
+                xB_[static_cast<size_t>(r)] -= valueAt(r, j) * u;
+            }
+        }
+        // Primal feasibility under the *current* bounds. Artificials are
+        // capped at zero from here on: a basic artificial that must be
+        // positive means the warmed basis cannot represent a feasible
+        // point, and the cold two-phase path should decide feasibility.
+        for (int c = n_; c < total_; ++c) upper_[static_cast<size_t>(c)] = 0.0;
+        for (int r = 0; r < m_; ++r) {
+            const double v = xB_[static_cast<size_t>(r)];
+            const double u =
+                upper_[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
+            if (v < -kFeasTol || v > u + kFeasTol) return false;
+            xB_[static_cast<size_t>(r)] = std::clamp(v, 0.0, std::max(0.0, u));
+        }
+        *status = phase2(cost, x, obj);
+        return true;
+    }
+
+    void exportBasis(LpBasis* out) const {
+        out->basic = basis_;
+        out->atUpper.assign(static_cast<size_t>(n_), 0);
+        for (int j = 0; j < n_; ++j) {
+            out->atUpper[static_cast<size_t>(j)] =
+                atUpper_[static_cast<size_t>(j)];
+        }
+    }
+
+private:
+    [[nodiscard]] double valueAt(int r, int c) const {
+        return a_[static_cast<size_t>(r) * static_cast<size_t>(total_) +
+                  static_cast<size_t>(c)];
+    }
+
+    SolveStatus phase2(const std::vector<double>& cost, std::vector<double>* x,
+                       double* obj) {
+        // Artificials are pinned at zero (upper bound 0) and excluded
+        // from pricing — no big-M cost needed.
+        for (int c = n_; c < total_; ++c) upper_[static_cast<size_t>(c)] = 0.0;
+        std::vector<double> phase2cost(static_cast<size_t>(total_), 0.0);
+        for (int c = 0; c < n_; ++c) {
+            phase2cost[static_cast<size_t>(c)] = cost[static_cast<size_t>(c)];
+        }
+        if (!runSimplex(phase2cost, n_)) return SolveStatus::Unbounded;
+
+        x->assign(static_cast<size_t>(n_), 0.0);
+        for (int j = 0; j < n_; ++j) {
+            if (atUpper_[static_cast<size_t>(j)]) {
+                (*x)[static_cast<size_t>(j)] = upper_[static_cast<size_t>(j)];
+            }
+        }
+        for (int r = 0; r < m_; ++r) {
+            const int bc = basis_[static_cast<size_t>(r)];
+            if (bc < n_) {
+                (*x)[static_cast<size_t>(bc)] = xB_[static_cast<size_t>(r)];
+            }
+        }
+        *obj = 0.0;
+        for (int j = 0; j < n_; ++j) {
+            *obj += cost[static_cast<size_t>(j)] * (*x)[static_cast<size_t>(j)];
+        }
+        return SolveStatus::Optimal;
+    }
+
+    /// After phase 1, pivot basic artificials onto structural columns
+    /// where possible; rows with no structural pivot are redundant. The
+    /// entering column keeps its current value (0 or its upper bound) and
+    /// the leaving artificial sits at ~0, so no variable actually moves:
+    /// every basic value is preserved and row `r` takes the entering
+    /// column's bound value.
+    void driveOutArtificials() {
+        for (int r = 0; r < m_; ++r) {
+            const int leaving = basis_[static_cast<size_t>(r)];
+            if (leaving < n_) continue;
+            for (int c = 0; c < n_; ++c) {
+                if (inBasis_[static_cast<size_t>(c)]) continue;
+                if (std::abs(valueAt(r, c)) <= kPivotTol) continue;
+                const double vc = atUpper_[static_cast<size_t>(c)]
+                                      ? upper_[static_cast<size_t>(c)]
+                                      : 0.0;
+                inBasis_[static_cast<size_t>(leaving)] = 0;
+                inBasis_[static_cast<size_t>(c)] = 1;
+                basis_[static_cast<size_t>(r)] = c;
+                atUpper_[static_cast<size_t>(c)] = 0;
+                pivot(r, c);
+                xB_[static_cast<size_t>(r)] = vc;
+                break;
+            }
+        }
+    }
+
+    /// Bounded-variable primal simplex with the given cost vector,
+    /// pricing columns [0, pricingLimit). Deterministic Dantzig rule
+    /// (largest violation, smallest index on ties) with a Bland-style
+    /// smallest-index fallback after maxIter/2. Returns false on
+    /// unboundedness.
+    bool runSimplex(const std::vector<double>& cost, int pricingLimit) {
+        // Canonicalize the reduced-cost row against the current basis.
+        red_ = cost;
+        for (int r = 0; r < m_; ++r) {
+            const double cb =
+                cost[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
+            if (cb == 0.0) continue;  // lint-ok: float-equality
+            const double* pr = row(r);
+            for (int c = 0; c < total_; ++c) {
+                red_[static_cast<size_t>(c)] -= cb * pr[static_cast<size_t>(c)];
+            }
+        }
+
+        const long maxIter = 20L * (m_ + static_cast<long>(total_)) + 2000;
+        for (long iterations = 0;; ++iterations) {
+            if (iterations > maxIter) break;  // stall guard
+            const bool useBland = iterations > maxIter / 2;
+
+            // Entering: nonbasic at lower with negative reduced cost, or
+            // nonbasic at a positive upper with positive reduced cost.
+            // Fixed columns (upper == 0: phase-2 artificials, B&B
+            // fixings) cannot move and are never priced in.
+            int entering = -1;
+            bool fromUpper = false;
+            double best = 1e-7;
+            for (int c = 0; c < pricingLimit; ++c) {
+                const size_t sc = static_cast<size_t>(c);
+                if (inBasis_[sc]) continue;
+                if (upper_[sc] <= 0.0) continue;
+                const double violation = atUpper_[sc] ? red_[sc] : -red_[sc];
+                if (violation > best) {
+                    entering = c;
+                    fromUpper = atUpper_[sc] != 0;
+                    if (useBland) break;
+                    best = violation;
+                }
+            }
+            if (entering < 0) return true;  // optimal
+
+            // Ratio test. The entering variable moves off its bound by
+            // t >= 0; basic variable in row r changes by -dir * a_re * t
+            // where dir = +1 leaving the lower bound, -1 the upper.
+            const double dir = fromUpper ? -1.0 : 1.0;
+            const double uEnter = upper_[static_cast<size_t>(entering)];
+            int leavingRow = -1;
+            bool leavingToUpper = false;
+            double bestT = std::numeric_limits<double>::infinity();
+            for (int r = 0; r < m_; ++r) {
+                const double delta = dir * valueAt(r, entering);
+                const size_t sr = static_cast<size_t>(r);
+                if (delta > kEps) {  // this basic decreases toward 0
+                    const double t = xB_[sr] / delta;
+                    if (leavingRow < 0 || t < bestT - kEps ||
+                        (t < bestT + kEps &&
+                         basis_[sr] < basis_[static_cast<size_t>(leavingRow)])) {
+                        leavingRow = r;
+                        leavingToUpper = false;
+                        bestT = t;
+                    }
+                } else if (delta < -kEps) {  // increases toward its upper
+                    const double ub =
+                        upper_[static_cast<size_t>(basis_[sr])];
+                    if (!std::isfinite(ub)) continue;
+                    const double t = (ub - xB_[sr]) / (-delta);
+                    if (leavingRow < 0 || t < bestT - kEps ||
+                        (t < bestT + kEps &&
+                         basis_[sr] < basis_[static_cast<size_t>(leavingRow)])) {
+                        leavingRow = r;
+                        leavingToUpper = true;
+                        bestT = t;
+                    }
+                }
+            }
+
+            if (uEnter <= bestT) {
+                // Bound flip: the entering variable reaches its opposite
+                // bound before any basic blocks. O(m), no pivot.
+                if (!std::isfinite(uEnter)) return false;  // unbounded
+                for (int r = 0; r < m_; ++r) {
+                    xB_[static_cast<size_t>(r)] -=
+                        dir * valueAt(r, entering) * uEnter;
+                }
+                atUpper_[static_cast<size_t>(entering)] = fromUpper ? 0 : 1;
+                ++boundFlips_;
+                continue;
+            }
+            if (leavingRow < 0) return false;  // unbounded
+            const double t = std::max(0.0, bestT);
+
+            // Move the basics, settle the leaving variable on its bound,
+            // then pivot the entering column into the basis.
+            for (int r = 0; r < m_; ++r) {
+                xB_[static_cast<size_t>(r)] -= dir * valueAt(r, entering) * t;
+            }
+            const int leaving = basis_[static_cast<size_t>(leavingRow)];
+            const size_t sl = static_cast<size_t>(leaving);
+            if (leavingToUpper) {
+                atUpper_[sl] = 1;
+                xB_[static_cast<size_t>(leavingRow)] = upper_[sl];  // exact
+            } else {
+                atUpper_[sl] = 0;
+                xB_[static_cast<size_t>(leavingRow)] = 0.0;  // exact
+            }
+            inBasis_[sl] = 0;
+            inBasis_[static_cast<size_t>(entering)] = 1;
+            basis_[static_cast<size_t>(leavingRow)] = entering;
+            pivot(leavingRow, entering);
+            xB_[static_cast<size_t>(leavingRow)] = fromUpper ? uEnter - t : t;
+        }
+        return true;
+    }
+
+    /// Row elimination making column `col` the `row`-th unit vector.
+    /// Updates the reduced-cost row when present. Does NOT touch xB_:
+    /// basic values are maintained directly by the callers (b_ only
+    /// tracks the canonical all-nonbasics-at-zero rhs).
+    void pivot(int row_, int col) {
+        ++pivots_;
+        double* prow = row(row_);
+        const double pv = prow[static_cast<size_t>(col)];
+        STREAK_ASSERT(std::abs(pv) > kEps,
+                      "pivot on near-zero element {} at row {}, column {}",
+                      pv, row_, col);
+        for (int c = 0; c < total_; ++c) prow[static_cast<size_t>(c)] /= pv;
+        b_[static_cast<size_t>(row_)] /= pv;
+        for (int r = 0; r < m_; ++r) {
+            if (r == row_) continue;
+            double* rr = row(r);
+            const double factor = rr[static_cast<size_t>(col)];
+            if (factor == 0.0) continue;  // lint-ok: float-equality
+            for (int c = 0; c < total_; ++c) {
+                rr[static_cast<size_t>(c)] -=
+                    factor * prow[static_cast<size_t>(c)];
+            }
+            rr[static_cast<size_t>(col)] = 0.0;  // fight round-off drift
+            b_[static_cast<size_t>(r)] -= factor * b_[static_cast<size_t>(row_)];
+        }
+        if (!red_.empty()) {
+            const double factor = red_[static_cast<size_t>(col)];
+            if (factor != 0.0) {  // lint-ok: float-equality
+                for (int c = 0; c < total_; ++c) {
+                    red_[static_cast<size_t>(c)] -=
+                        factor * prow[static_cast<size_t>(c)];
+                }
+                red_[static_cast<size_t>(col)] = 0.0;
+            }
+        }
+    }
+
+    int n_;      // structural + slack columns
+    int m_;      // rows
+    int total_;  // n_ + one artificial per row
+    std::vector<double> a_;   // flat row-major tableau, width total_
+    std::vector<double> b_;   // canonical rhs (all nonbasics at 0)
+    std::vector<double> xB_;  // actual basic values (bounds-aware)
+    std::vector<double> red_;
+    std::vector<double> upper_;
+    std::vector<std::uint8_t> atUpper_;
+    std::vector<int> basis_;
+    std::vector<std::uint8_t> inBasis_;
+    long pivots_ = 0;
+    long boundFlips_ = 0;
+};
+
+/// Shared shift-to-zero-lower-bound preprocessing for the bounded
+/// engine. Rows keep their original order; rhs-negative rows are scaled
+/// by -1 (sense flipped) so every artificial starts nonnegative. The
+/// column layout — structural, then one slack per inequality row in row
+/// order, then one artificial per row — depends only on the senses and
+/// the row order, so a parent and a child model (same rows, different
+/// bounds) always agree on it even when the scaling differs.
+struct PreparedLp {
+    int n = 0;         // model variables
+    int numSlack = 0;  // inequality rows
+    int m = 0;         // rows
+    double constant = 0.0;
+    std::vector<double> shift;
+    std::vector<double> upper;  // shifted upper bound per variable
+    struct NormRow {
+        std::vector<std::pair<int, double>> coeffs;
+        Sense sense;
+        double rhs;
+    };
+    std::vector<NormRow> rows;
+    bool contradictoryBounds = false;
+};
+
+PreparedLp prepare(const Model& model) {
+    PreparedLp p;
+    p.n = model.numVariables();
+    p.constant = model.objectiveConstant;
+    p.shift.assign(static_cast<size_t>(p.n), 0.0);
+    p.upper.assign(static_cast<size_t>(p.n), kInfinity);
+    for (int v = 0; v < p.n; ++v) {
+        const double lo = model.lower(v);
+        p.shift[static_cast<size_t>(v)] = lo;
+        p.constant += model.objectiveCoeff(v) * lo;
+        const double ub = model.upper(v);
+        if (ub < kInfinity) {
+            const double u = ub - lo;
+            if (u < -kFeasTol) p.contradictoryBounds = true;
+            p.upper[static_cast<size_t>(v)] = std::max(0.0, u);
+        }
+    }
+    p.rows.reserve(model.rows().size());
+    for (const Row& r : model.rows()) {
+        PreparedLp::NormRow nr{r.coeffs, r.sense, r.rhs};
+        for (const auto& [v, coef] : nr.coeffs) {
+            nr.rhs -= coef * p.shift[static_cast<size_t>(v)];
+        }
+        if (nr.rhs < 0.0) {
+            nr.rhs = -nr.rhs;
+            for (auto& [v, coef] : nr.coeffs) coef = -coef;
+            if (nr.sense == Sense::LessEqual) {
+                nr.sense = Sense::GreaterEqual;
+            } else if (nr.sense == Sense::GreaterEqual) {
+                nr.sense = Sense::LessEqual;
+            }
+        }
+        p.rows.push_back(std::move(nr));
+    }
+    p.m = static_cast<int>(p.rows.size());
+    for (const PreparedLp::NormRow& r : p.rows) {
+        if (r.sense != Sense::Equal) ++p.numSlack;
+    }
+    return p;
+}
+
+/// Build the bounded tableau from a prepared model. The initial basis is
+/// only meaningful for cold solves (the slack for `<=` rows, else the
+/// row's artificial); warm solves overwrite it.
+void buildBounded(const PreparedLp& p, BoundedSimplex* s) {
+    const int nStruct = p.n + p.numSlack;
+    int slackCol = p.n;
+    for (int i = 0; i < p.m; ++i) {
+        const PreparedLp::NormRow& r = p.rows[static_cast<size_t>(i)];
+        double* row = s->row(i);
+        for (const auto& [v, coef] : r.coeffs) {
+            row[static_cast<size_t>(v)] += coef;
+        }
+        s->setRhs(i, r.rhs);
+        const int art = nStruct + i;
+        row[static_cast<size_t>(art)] = 1.0;
+        if (r.sense == Sense::LessEqual) {
+            row[static_cast<size_t>(slackCol)] = 1.0;
+            s->setInitialBasis(i, slackCol++);
+        } else if (r.sense == Sense::GreaterEqual) {
+            row[static_cast<size_t>(slackCol++)] = -1.0;
+            s->setInitialBasis(i, art);
+        } else {
+            s->setInitialBasis(i, art);
+        }
+    }
+    for (int v = 0; v < p.n; ++v) {
+        s->setUpper(v, p.upper[static_cast<size_t>(v)]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy engine (explicit upper-bound rows) — the equivalence oracle
+// ---------------------------------------------------------------------------
 
 /// Dense two-phase primal simplex on the tableau
 ///   min c^T x  s.t.  A x = b,  x >= 0,  b >= 0.
@@ -42,10 +522,10 @@ public:
             a_[static_cast<size_t>(r)][static_cast<size_t>(n_ + r)] = 1.0;
             basis_[static_cast<size_t>(r)] = n_ + r;
         }
-        // Phase 1: minimize the sum of artificials.
+        // Phase 1: minimize the sum of artificials (pricing all columns).
         std::vector<double> phase1(static_cast<size_t>(total), 0.0);
         for (int c = n_; c < total; ++c) phase1[static_cast<size_t>(c)] = 1.0;
-        if (!runSimplex(phase1)) return SolveStatus::Unbounded;
+        if (!runSimplex(phase1, total)) return SolveStatus::Unbounded;
         if (objectiveOf(phase1) > 1e-6) return SolveStatus::Infeasible;
 
         // Drive remaining artificials out of the basis where possible;
@@ -61,13 +541,15 @@ public:
             }
         }
 
-        // Phase 2: real costs; artificials get a huge cost so they stay 0.
+        // Phase 2: real costs. Artificial columns are excluded from
+        // entering selection (they can never profitably re-enter), which
+        // also retires the old 1e12 big-M cost hack: any artificial still
+        // basic sits at ~0 on a redundant row and carries zero cost.
         std::vector<double> phase2(static_cast<size_t>(total), 0.0);
         for (int c = 0; c < n_; ++c) {
             phase2[static_cast<size_t>(c)] = cost[static_cast<size_t>(c)];
         }
-        for (int c = n_; c < total; ++c) phase2[static_cast<size_t>(c)] = 1e12;
-        if (!runSimplex(phase2)) return SolveStatus::Unbounded;
+        if (!runSimplex(phase2, n_)) return SolveStatus::Unbounded;
 
         x->assign(static_cast<size_t>(n_), 0.0);
         for (int r = 0; r < m_; ++r) {
@@ -82,7 +564,7 @@ public:
     }
 
     /// Pivots performed across both phases (flushed to the counter
-    /// registry by solveLp, keeping the pivot loop registry-free).
+    /// registry by solveLpLegacy, keeping the pivot loop registry-free).
     [[nodiscard]] long pivots() const { return pivots_; }
 
 private:
@@ -95,9 +577,10 @@ private:
         return v;
     }
 
-    /// Primal simplex with the given cost vector. Maintains the reduced
-    /// cost row incrementally. Returns false on unboundedness.
-    bool runSimplex(const std::vector<double>& cost) {
+    /// Primal simplex with the given cost vector, pricing columns
+    /// [0, pricingLimit). Maintains the reduced cost row incrementally.
+    /// Returns false on unboundedness.
+    bool runSimplex(const std::vector<double>& cost, int pricingLimit) {
         const size_t total = cost.size();
         // Canonicalize the reduced-cost row against the current basis.
         red_ = cost;
@@ -116,11 +599,11 @@ private:
 
             int entering = -1;
             double best = -1e-7;
-            for (size_t c = 0; c < total; ++c) {
-                if (red_[c] < best) {
-                    entering = static_cast<int>(c);
+            for (int c = 0; c < pricingLimit; ++c) {
+                if (red_[static_cast<size_t>(c)] < best) {
+                    entering = c;
                     if (useBland) break;
-                    best = red_[c];
+                    best = red_[static_cast<size_t>(c)];
                 }
             }
             if (entering < 0) return true;  // optimal
@@ -187,10 +670,74 @@ private:
 
 }  // namespace
 
-Solution solveLp(const Model& model) {
+Solution solveLp(const Model& model) { return solveLp(model, LpOptions{}); }
+
+Solution solveLp(const Model& model, const LpOptions& opts) {
+    LpTally tally;
+    tally.solves = 1;
+    const PreparedLp p = prepare(model);
+    Solution sol;
+    if (p.contradictoryBounds) {
+        sol.status = SolveStatus::Infeasible;
+        return sol;
+    }
+    const int nStruct = p.n + p.numSlack;
+
+    std::vector<double> cost(static_cast<size_t>(nStruct), 0.0);
+    for (int v = 0; v < p.n; ++v) {
+        cost[static_cast<size_t>(v)] = model.objectiveCoeff(v);
+    }
+
+    std::vector<double> x;
+    double obj = 0.0;
+    bool solved = false;
+
+    if (opts.warmBasis != nullptr && !opts.warmBasis->empty()) {
+        BoundedSimplex warm(nStruct, p.m);
+        buildBounded(p, &warm);
+        SolveStatus st{};
+        if (warm.warmSolve(*opts.warmBasis, cost, &x, &obj, &st)) {
+            tally.warmStarts = 1;
+            tally.pivots = warm.pivots();
+            tally.boundFlips = warm.boundFlips();
+            sol.status = st;
+            if (st == SolveStatus::Optimal && opts.basisOut != nullptr) {
+                warm.exportBasis(opts.basisOut);
+            }
+            solved = true;
+        } else {
+            tally.warmFallbacks = 1;
+            tally.pivots = warm.pivots();
+        }
+    }
+
+    if (!solved) {
+        BoundedSimplex cold(nStruct, p.m);
+        buildBounded(p, &cold);
+        sol.status = cold.solve(cost, &x, &obj);
+        tally.pivots += cold.pivots();
+        tally.boundFlips += cold.boundFlips();
+        if (sol.status == SolveStatus::Optimal && opts.basisOut != nullptr) {
+            cold.exportBasis(opts.basisOut);
+        }
+    }
+
+    if (sol.status != SolveStatus::Optimal) return sol;
+    sol.values.assign(static_cast<size_t>(p.n), 0.0);
+    for (int v = 0; v < p.n; ++v) {
+        sol.values[static_cast<size_t>(v)] =
+            x[static_cast<size_t>(v)] + p.shift[static_cast<size_t>(v)];
+    }
+    sol.objective = obj + p.constant;
+    return sol;
+}
+
+Solution solveLpLegacy(const Model& model) {
     // Shift variables so every lower bound becomes 0, emit bound rows for
     // finite upper bounds, add slack/surplus columns to reach Ax = b with
     // b >= 0.
+    LpTally tally;
+    tally.solves = 1;
     const int n = model.numVariables();
     std::vector<double> shift(static_cast<size_t>(n), 0.0);
     double constant = model.objectiveConstant;
@@ -216,8 +763,9 @@ Solution solveLp(const Model& model) {
     for (int v = 0; v < n; ++v) {
         const double ub = model.upper(v);
         if (ub < kInfinity) {
-            rows.push_back(
-                {{{v, 1.0}}, Sense::LessEqual, ub - shift[static_cast<size_t>(v)]});
+            rows.push_back({{{v, 1.0}},
+                            Sense::LessEqual,
+                            ub - shift[static_cast<size_t>(v)]});
         }
     }
 
@@ -256,10 +804,7 @@ Solution solveLp(const Model& model) {
     std::vector<double> x;
     double obj = 0.0;
     sol.status = tableau.solve(cost, &x, &obj);
-    if (obs::detailEnabled()) {
-        obs::counter("ilp/lp.solves").add(1);
-        obs::counter("ilp/lp.pivots").add(tableau.pivots());
-    }
+    tally.pivots = tableau.pivots();
     if (sol.status != SolveStatus::Optimal) return sol;
     sol.values.assign(static_cast<size_t>(n), 0.0);
     for (int v = 0; v < n; ++v) {

@@ -1,7 +1,8 @@
 #include "post/ripup.hpp"
 
 #include <algorithm>
-#include <set>
+#include <cstdint>
+#include <vector>
 
 #include "check/audit.hpp"
 #include "grid/routing_grid.hpp"
@@ -12,7 +13,10 @@ namespace streak::post {
 
 namespace {
 
-/// Usage bookkeeping for a per-object solution.
+/// Usage bookkeeping for a per-object solution. The blocker queries run
+/// once per unrouted object per round, so their scratch (tight-edge and
+/// blocker lists) is owned here and reused instead of being reallocated
+/// per call; blockers always come back sorted ascending.
 class UsageState {
 public:
     explicit UsageState(const RoutingProblem& prob)
@@ -58,32 +62,37 @@ public:
         return true;
     }
 
-    /// Objects whose committed routes keep candidate `c` from fitting.
-    [[nodiscard]] std::set<int> blockersOf(const RouteCandidate& c,
-                                           const std::vector<int>& chosen) const {
-        std::set<int> blockers;
-        std::set<int> tightEdges;
+    /// Objects whose committed routes keep candidate `c` from fitting,
+    /// sorted ascending (the processing order of the rip cascade).
+    [[nodiscard]] const std::vector<int>& blockersOf(
+        const RouteCandidate& c, const std::vector<int>& chosen) {
+        blockers_.clear();
+        tightEdges_.clear();
         for (const auto& [edge, amount] : c.edgeUse) {
-            if (usage_.remaining(edge) < amount) tightEdges.insert(edge);
+            if (usage_.remaining(edge) < amount) tightEdges_.push_back(edge);
         }
-        if (tightEdges.empty()) return blockers;
+        if (tightEdges_.empty()) return blockers_;
+        std::sort(tightEdges_.begin(), tightEdges_.end());
         for (size_t i = 0; i < chosen.size(); ++i) {
             if (chosen[i] < 0) continue;
             const RouteCandidate& other =
                 prob_.candidates[i][static_cast<size_t>(chosen[i])];
             for (const auto& [edge, amount] : other.edgeUse) {
-                if (tightEdges.contains(edge)) {
-                    blockers.insert(static_cast<int>(i));
+                if (std::binary_search(tightEdges_.begin(), tightEdges_.end(),
+                                       edge)) {
+                    blockers_.push_back(static_cast<int>(i));
                     break;
                 }
             }
         }
-        return blockers;
+        return blockers_;
     }
 
 private:
     const RoutingProblem& prob_;
     grid::EdgeUsage usage_;
+    std::vector<int> tightEdges_;
+    std::vector<int> blockers_;
 };
 
 }  // namespace
@@ -94,7 +103,8 @@ RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
     RipupResult result;
     UsageState state(prob);
     state.syncFrom(sol->chosen);
-    std::set<int> everRipped;
+    std::vector<std::uint8_t> everRipped(
+        static_cast<size_t>(prob.numObjects()), 0);
 
     int roundsRun = 0;
     for (int round = 0; round < maxRounds; ++round) {
@@ -120,14 +130,20 @@ RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
             if (placed) continue;
 
             // Rip the blockers of the cheapest candidate, place it, then
-            // try to re-route the victims elsewhere.
+            // try to re-route the victims elsewhere. Copy the blocker
+            // list out of the scratch: the cascade below runs more
+            // queries through the same state.
             const RouteCandidate& target = cands.front();
-            const std::set<int> victims = state.blockersOf(target, sol->chosen);
+            const std::vector<int> victims =
+                state.blockersOf(target, sol->chosen);
             if (victims.empty()) continue;  // blocked by blockages, not nets
             for (const int v : victims) {
                 state.remove(v, sol->chosen[static_cast<size_t>(v)]);
                 sol->chosen[static_cast<size_t>(v)] = -1;
-                if (everRipped.insert(v).second) ++result.objectsRipped;
+                if (!everRipped[static_cast<size_t>(v)]) {
+                    everRipped[static_cast<size_t>(v)] = 1;
+                    ++result.objectsRipped;
+                }
             }
             if (!state.fits(target)) continue;  // still blocked; victims
                                                 // retry in the next sweep
@@ -151,8 +167,11 @@ RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
         if (!progress) break;
     }
 
-    for (const int v : everRipped) {
-        if (sol->chosen[static_cast<size_t>(v)] < 0) ++result.objectsLost;
+    for (int v = 0; v < prob.numObjects(); ++v) {
+        if (everRipped[static_cast<size_t>(v)] &&
+            sol->chosen[static_cast<size_t>(v)] < 0) {
+            ++result.objectsLost;
+        }
     }
     if (obs::detailEnabled()) {
         obs::counter("post/ripup.rounds").add(roundsRun);

@@ -47,6 +47,10 @@ SequentialResult routeSequential(const Design& design,
     const obs::Stopwatch watch;
     SequentialResult result(design.grid);
     MazeRouter router(&result.usage, opts);
+    // One epoch-stamped scratch for every net in the pass: label arrays
+    // are allocated once and invalidated by epoch bump, not re-filled.
+    // (Workers in a future parallel pass would each own one.)
+    SearchState scratch;
 
     for (const SignalGroup& group : design.groups) {
         for (const Bit& bit : group.bits) {
@@ -69,7 +73,7 @@ SequentialResult routeSequential(const Design& design,
                 ++result.routedBits;
                 continue;
             }
-            const auto net = router.route(bit.pins, bit.driver);
+            const auto net = router.route(bit.pins, bit.driver, &scratch);
             if (net) {
                 ++result.routedBits;
                 result.wirelength += net->wirelength2d;

@@ -143,5 +143,77 @@ TEST(SolveIlp, OptimalMatchesExhaustiveOnSmallInstance) {
     EXPECT_NEAR(s.objective, best, kTol);
 }
 
+// ---------------------------------------------------------------------------
+// Engine / warm-start equivalence at the branch-and-bound level
+// ---------------------------------------------------------------------------
+
+/// Streak-shaped selection model: groups of binary candidates, shared
+/// capacities, and a pair-linearization term — the structure the ILP
+/// router emits per component.
+Model selectionModel(int groups, int seedOffset) {
+    Model m;
+    std::vector<int> vars;
+    for (int g = 0; g < groups; ++g) {
+        Row sel;
+        for (int j = 0; j < 3; ++j) {
+            const double cost = 1.0 + ((g * 7 + j * 3 + seedOffset) % 11);
+            const int v = m.addVariable(cost, true);
+            vars.push_back(v);
+            sel.coeffs.emplace_back(v, 1.0);
+        }
+        sel.sense = Sense::Equal;
+        sel.rhs = 1.0;
+        m.addRow(std::move(sel));
+    }
+    Row cap;
+    for (size_t k = 0; k < vars.size(); k += 2) {
+        cap.coeffs.emplace_back(vars[k], 1.0);
+    }
+    cap.sense = Sense::LessEqual;
+    cap.rhs = 1.0 + static_cast<double>(groups) / 2.0;
+    m.addRow(std::move(cap));
+    if (vars.size() >= 5) {
+        const int y = m.addVariable(-2.0, false, 0.0, 1.0);
+        m.addRow({{y, 1.0}, {vars[0], -1.0}, {vars[4], -1.0}},
+                 Sense::GreaterEqual, -1.0);
+    }
+    return m;
+}
+
+TEST(SolveIlp, WarmStartAndEngineChoicesAgreeOnObjective) {
+    for (int trial = 0; trial < 6; ++trial) {
+        const Model m = selectionModel(2 + trial % 4, trial);
+
+        BnbOptions warm;  // defaults: Bounded engine, warm starts on
+        BnbOptions cold = warm;
+        cold.lpWarmStart = false;
+        BnbOptions legacy = warm;
+        legacy.lpEngine = LpEngine::Legacy;
+
+        const Solution a = solveIlp(m, warm);
+        const Solution b = solveIlp(m, cold);
+        const Solution c = solveIlp(m, legacy);
+        ASSERT_EQ(a.status, SolveStatus::Optimal) << "trial " << trial;
+        ASSERT_EQ(b.status, SolveStatus::Optimal) << "trial " << trial;
+        ASSERT_EQ(c.status, SolveStatus::Optimal) << "trial " << trial;
+        EXPECT_NEAR(a.objective, b.objective, kTol) << "trial " << trial;
+        EXPECT_NEAR(a.objective, c.objective, kTol) << "trial " << trial;
+    }
+}
+
+TEST(SolveIlp, WarmStartPreservesInfeasibilityProof) {
+    Model m;
+    const int x = m.addVariable(1.0, true);
+    const int y = m.addVariable(1.0, true);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::Equal, 1.0);
+    m.addRow({{x, 1.0}, {y, -1.0}}, Sense::GreaterEqual, 0.5);
+    m.addRow({{y, 1.0}, {x, -1.0}}, Sense::GreaterEqual, 0.5);
+    BnbOptions warm;
+    BnbOptions legacy;
+    legacy.lpEngine = LpEngine::Legacy;
+    EXPECT_EQ(solveIlp(m, warm).status, SolveStatus::Infeasible);
+    EXPECT_EQ(solveIlp(m, legacy).status, SolveStatus::Infeasible);
+}
+
 }  // namespace
 }  // namespace streak::ilp

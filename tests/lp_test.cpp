@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace streak::ilp {
 namespace {
 
@@ -124,6 +126,202 @@ TEST(SolveLp, MediumRandomishProblemStaysFinite) {
     ASSERT_EQ(s.status, SolveStatus::Optimal);
     EXPECT_GT(s.objective, 0.0);
     EXPECT_LT(s.objective, 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-variable engine vs the legacy explicit-row oracle
+// ---------------------------------------------------------------------------
+
+/// Random small model with mostly-finite upper bounds: the shapes where
+/// the bounded engine's implicit bound handling diverges most from the
+/// legacy one-row-per-bound formulation.
+Model randomModel(std::mt19937* rng) {
+    std::uniform_int_distribution<int> varCount(2, 6);
+    std::uniform_int_distribution<int> rowCount(1, 5);
+    std::uniform_real_distribution<double> coeff(-3.0, 3.0);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    Model m;
+    const int n = varCount(*rng);
+    for (int v = 0; v < n; ++v) {
+        const double lo = unit(*rng) < 0.3 ? coeff(*rng) : 0.0;
+        // ~85% finite upper bounds; the rest exercise the infinite path.
+        const double span = 0.5 + 4.0 * unit(*rng);
+        const double hi = unit(*rng) < 0.85 ? lo + span : kInfinity;
+        m.addVariable(coeff(*rng), false, lo, hi);
+    }
+    const int rows = rowCount(*rng);
+    for (int r = 0; r < rows; ++r) {
+        Row row;
+        for (int v = 0; v < n; ++v) {
+            if (unit(*rng) < 0.7) row.coeffs.emplace_back(v, coeff(*rng));
+        }
+        if (row.coeffs.empty()) row.coeffs.emplace_back(0, 1.0);
+        const double pick = unit(*rng);
+        row.sense = pick < 0.5 ? Sense::LessEqual
+                               : (pick < 0.8 ? Sense::GreaterEqual : Sense::Equal);
+        row.rhs = 4.0 * coeff(*rng) / 3.0;
+        m.addRow(std::move(row));
+    }
+    return m;
+}
+
+TEST(LpEquivalence, RandomModelsMatchLegacyFormulation) {
+    std::mt19937 rng(20260806);
+    int optimal = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        const Model m = randomModel(&rng);
+        const Solution bounded = solveLp(m);
+        const Solution legacy = solveLpLegacy(m);
+        ASSERT_EQ(bounded.status, legacy.status) << "trial " << trial;
+        if (bounded.status == SolveStatus::Optimal) {
+            ++optimal;
+            EXPECT_NEAR(bounded.objective, legacy.objective, kTol)
+                << "trial " << trial;
+        }
+    }
+    // The generator must actually exercise the optimal path, not just
+    // churn out infeasible/unbounded models.
+    EXPECT_GE(optimal, 10);
+}
+
+TEST(LpEquivalence, SelectionModelsMatchLegacyFormulation) {
+    // Streak-shaped models: 0/1 selection rows + capacity rows, the exact
+    // structure branch-and-bound relaxations have.
+    std::mt19937 rng(77);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int trial = 0; trial < 20; ++trial) {
+        Model m;
+        std::vector<int> vars;
+        const int groups = 2 + trial % 3;
+        for (int gIdx = 0; gIdx < groups; ++gIdx) {
+            Row sel;
+            for (int j = 0; j < 3; ++j) {
+                const int v =
+                    m.addVariable(1.0 + 5.0 * unit(rng), false, 0.0, 1.0);
+                vars.push_back(v);
+                sel.coeffs.emplace_back(v, 1.0);
+            }
+            sel.sense = Sense::Equal;
+            sel.rhs = 1.0;
+            m.addRow(std::move(sel));
+        }
+        Row cap;
+        for (size_t k = 0; k < vars.size(); k += 2) {
+            cap.coeffs.emplace_back(vars[k], 1.0);
+        }
+        cap.sense = Sense::LessEqual;
+        cap.rhs = 1.0 + static_cast<double>(groups) / 2.0;
+        m.addRow(std::move(cap));
+
+        const Solution bounded = solveLp(m);
+        const Solution legacy = solveLpLegacy(m);
+        ASSERT_EQ(bounded.status, legacy.status) << "trial " << trial;
+        ASSERT_EQ(bounded.status, SolveStatus::Optimal);
+        EXPECT_NEAR(bounded.objective, legacy.objective, kTol)
+            << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Basis warm starts
+// ---------------------------------------------------------------------------
+
+TEST(LpWarmStart, ChildBoundFixingsResolveToColdObjective) {
+    // Parent: a selection LP. Children: each variable fixed to 0 / 1 in
+    // turn (exactly what branch-and-bound does), re-solved from the
+    // parent basis; objective and status must match the cold solve.
+    Model parent;
+    const int a = parent.addVariable(5.0, true, 0.0, 1.0);
+    const int b = parent.addVariable(3.0, true, 0.0, 1.0);
+    const int c = parent.addVariable(9.0, true, 0.0, 1.0);
+    parent.addRow({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Sense::Equal, 1.0);
+    parent.addRow({{a, 1.0}, {c, 1.0}}, Sense::LessEqual, 1.0);
+
+    LpBasis basis;
+    LpOptions opts;
+    opts.basisOut = &basis;
+    const Solution root = solveLp(parent, opts);
+    ASSERT_EQ(root.status, SolveStatus::Optimal);
+    ASSERT_FALSE(basis.empty());
+
+    for (const int var : {a, b, c}) {
+        for (const double fix : {0.0, 1.0}) {
+            Model child;
+            for (int v = 0; v < parent.numVariables(); ++v) {
+                const bool fixed = v == var;
+                child.addVariable(parent.objectiveCoeff(v), true,
+                                  fixed ? fix : parent.lower(v),
+                                  fixed ? fix : parent.upper(v));
+            }
+            for (const Row& r : parent.rows()) child.addRow(r);
+
+            LpOptions warmOpts;
+            warmOpts.warmBasis = &basis;
+            const Solution warm = solveLp(child, warmOpts);
+            const Solution cold = solveLp(child);
+            ASSERT_EQ(warm.status, cold.status)
+                << "var " << var << " fixed to " << fix;
+            if (cold.status == SolveStatus::Optimal) {
+                EXPECT_NEAR(warm.objective, cold.objective, kTol)
+                    << "var " << var << " fixed to " << fix;
+            }
+        }
+    }
+}
+
+TEST(LpWarmStart, RandomChildrenMatchColdSolves) {
+    std::mt19937 rng(4242);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int trial = 0; trial < 25; ++trial) {
+        const Model parent = randomModel(&rng);
+        LpBasis basis;
+        LpOptions opts;
+        opts.basisOut = &basis;
+        const Solution root = solveLp(parent, opts);
+        if (root.status != SolveStatus::Optimal) continue;
+
+        // Child: tighten one finite-bounded variable to one of its ends.
+        Model child;
+        int target = -1;
+        for (int v = 0; v < parent.numVariables(); ++v) {
+            if (parent.upper(v) < kInfinity) target = v;
+        }
+        for (int v = 0; v < parent.numVariables(); ++v) {
+            double lo = parent.lower(v);
+            double hi = parent.upper(v);
+            if (v == target) {
+                if (unit(rng) < 0.5) hi = lo;
+                else lo = hi;
+            }
+            child.addVariable(parent.objectiveCoeff(v), false, lo, hi);
+        }
+        for (const Row& r : parent.rows()) child.addRow(r);
+
+        LpOptions warmOpts;
+        warmOpts.warmBasis = &basis;
+        const Solution warm = solveLp(child, warmOpts);
+        const Solution cold = solveLp(child);
+        ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+        if (cold.status == SolveStatus::Optimal) {
+            EXPECT_NEAR(warm.objective, cold.objective, kTol)
+                << "trial " << trial;
+        }
+    }
+}
+
+TEST(LpWarmStart, GarbageBasisFallsBackToColdSolve) {
+    Model m;
+    const int x = m.addVariable(-1.0, false, 0.0, 3.0);
+    const int y = m.addVariable(-2.0, false, 0.0, 2.0);
+    m.addRow({{x, 1.0}, {y, 1.0}}, Sense::LessEqual, 4.0);
+
+    LpBasis junk;
+    junk.basic = {999};  // out-of-range column
+    LpOptions opts;
+    opts.warmBasis = &junk;
+    const Solution s = solveLp(m, opts);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, -6.0, kTol);
 }
 
 }  // namespace

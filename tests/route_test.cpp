@@ -1,6 +1,9 @@
 // Tests for the maze router and the sequential baseline.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "gen/generator.hpp"
 #include "route/maze.hpp"
 #include "route/sequential.hpp"
@@ -111,6 +114,213 @@ TEST(MazeRouter, OverflowNeverCrossesHardBlockages) {
     opts.allowOverflow = true;
     MazeRouter router(&usage, opts);
     EXPECT_FALSE(router.route({{1, 4}, {6, 4}}, 0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// A* + search-window vs plain-Dijkstra oracle
+// ---------------------------------------------------------------------------
+
+/// One randomized routing scenario, replayed identically per variant.
+struct MazeScenario {
+    int w = 0;
+    int h = 0;
+    int layers = 0;
+    int capacity = 1;
+    std::vector<std::pair<Point, Point>> blockRects;  // layer-0 rects
+    std::vector<int> preUsedEdges;
+    std::vector<std::vector<Point>> nets;  // driver is pin 0
+};
+
+MazeScenario randomScenario(std::mt19937* rng) {
+    MazeScenario s;
+    std::uniform_int_distribution<int> dim(12, 28);
+    std::uniform_int_distribution<int> layerCount(2, 4);
+    std::uniform_int_distribution<int> cap(1, 3);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    s.w = dim(*rng);
+    s.h = dim(*rng);
+    s.layers = layerCount(*rng);
+    s.capacity = cap(*rng);
+    std::uniform_int_distribution<int> px(0, s.w - 1);
+    std::uniform_int_distribution<int> py(0, s.h - 1);
+    const int rects = static_cast<int>(unit(*rng) * 4.0);
+    for (int i = 0; i < rects; ++i) {
+        const int x0 = px(*rng);
+        const int y0 = py(*rng);
+        const int x1 = std::min(s.w - 1, x0 + static_cast<int>(unit(*rng) * 6));
+        const int y1 = std::min(s.h - 1, y0 + static_cast<int>(unit(*rng) * 6));
+        s.blockRects.push_back({{x0, y0}, {x1, y1}});
+    }
+    const int nets = 2 + static_cast<int>(unit(*rng) * 2.0);
+    for (int n = 0; n < nets; ++n) {
+        std::vector<Point> pins;
+        const int pinCount = 2 + static_cast<int>(unit(*rng) * 3.0);
+        for (int p = 0; p < pinCount; ++p) pins.push_back({px(*rng), py(*rng)});
+        s.nets.push_back(std::move(pins));
+    }
+    return s;
+}
+
+/// Replay a scenario under the given search options; pre-existing
+/// congestion is seeded deterministically from the scenario.
+struct ReplayResult {
+    std::vector<bool> routed;
+    std::vector<std::vector<int>> edges;
+    std::vector<int> wirelength;
+    std::vector<int> vias;
+    long long totalUsage = 0;
+};
+
+ReplayResult replay(const MazeScenario& s, const MazeOptions& opts) {
+    grid::RoutingGrid g(s.w, s.h, s.layers, s.capacity);
+    for (const auto& [lo, hi] : s.blockRects) g.addBlockage({lo, hi}, 0, 0);
+    grid::EdgeUsage usage(g);
+    // Deterministic pre-congestion: saturate a pseudo-random edge subset.
+    std::mt19937 congestion(s.w * 1000 + s.h);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int e = 0; e < g.numEdges(); ++e) {
+        if (unit(congestion) < 0.15) usage.add(e, 1);
+    }
+    MazeRouter router(&usage, opts);
+    ReplayResult r;
+    for (const auto& pins : s.nets) {
+        const auto net = router.route(pins, 0);
+        r.routed.push_back(net.has_value());
+        r.edges.push_back(net ? net->edges : std::vector<int>{});
+        r.wirelength.push_back(net ? net->wirelength2d : -1);
+        r.vias.push_back(net ? net->viaCount : -1);
+    }
+    for (int e = 0; e < g.numEdges(); ++e) r.totalUsage += usage.usage(e);
+    return r;
+}
+
+TEST(MazeOracle, AstarAndWindowMatchDijkstraOnRandomGrids) {
+    std::mt19937 rng(987654);
+    for (int trial = 0; trial < 12; ++trial) {
+        const MazeScenario s = randomScenario(&rng);
+
+        MazeOptions dijkstra;  // the oracle: no heuristic, no window
+        dijkstra.useAstar = false;
+        dijkstra.useWindow = false;
+        MazeOptions astar = dijkstra;
+        astar.useAstar = true;
+        MazeOptions windowed = astar;
+        windowed.useWindow = true;
+        windowed.windowMargin = 2;  // tiny: force growth on detours
+        MazeOptions windowedDijkstra = dijkstra;
+        windowedDijkstra.useWindow = true;
+        windowedDijkstra.windowMargin = 2;
+
+        const ReplayResult oracle = replay(s, dijkstra);
+        for (const MazeOptions& v : {astar, windowed, windowedDijkstra}) {
+            const ReplayResult got = replay(s, v);
+            ASSERT_EQ(got.routed, oracle.routed) << "trial " << trial;
+            ASSERT_EQ(got.edges, oracle.edges) << "trial " << trial;
+            EXPECT_EQ(got.wirelength, oracle.wirelength) << "trial " << trial;
+            EXPECT_EQ(got.vias, oracle.vias) << "trial " << trial;
+            EXPECT_EQ(got.totalUsage, oracle.totalUsage) << "trial " << trial;
+        }
+    }
+}
+
+TEST(MazeOracle, CongestedRunsMatchWithOverflowAllowed) {
+    std::mt19937 rng(13579);
+    for (int trial = 0; trial < 6; ++trial) {
+        const MazeScenario s = randomScenario(&rng);
+        MazeOptions oracleOpts;
+        oracleOpts.useAstar = false;
+        oracleOpts.useWindow = false;
+        oracleOpts.allowOverflow = true;
+        oracleOpts.congestionPenalty = 20.0;
+        MazeOptions fast = oracleOpts;
+        fast.useAstar = true;
+        fast.useWindow = true;
+        fast.windowMargin = 3;
+        const ReplayResult oracle = replay(s, oracleOpts);
+        const ReplayResult got = replay(s, fast);
+        ASSERT_EQ(got.edges, oracle.edges) << "trial " << trial;
+        EXPECT_EQ(got.wirelength, oracle.wirelength) << "trial " << trial;
+        EXPECT_EQ(got.vias, oracle.vias) << "trial " << trial;
+    }
+}
+
+TEST(MazeOracle, WindowGrowsToReachSinkBehindLongWall) {
+    // The direct corridor is walled off far beyond the initial margin:
+    // the path must detour above y = 30 while the tree-bbox window
+    // starts as a sliver around y = 5. The progressive window must keep
+    // growing (or fall back to full grid) and still find the oracle path.
+    const auto build = [](const MazeOptions& opts) {
+        grid::RoutingGrid g(40, 40, 2, 1);
+        for (int y = 0; y <= 30; ++y) g.addBlockage({{12, y}, {14, y}}, 0, 0);
+        for (int x = 12; x <= 14; ++x) {
+            for (int y = 0; y <= 30; ++y) g.addBlockage({{x, y}, {x, y}}, 1, 0);
+        }
+        grid::EdgeUsage usage(g);
+        MazeRouter router(&usage, opts);
+        return router.route({{5, 5}, {30, 5}}, 0);
+    };
+    MazeOptions oracleOpts;
+    oracleOpts.useAstar = false;
+    oracleOpts.useWindow = false;
+    MazeOptions fast;
+    fast.useAstar = true;
+    fast.useWindow = true;
+    fast.windowMargin = 2;
+    const auto oracle = build(oracleOpts);
+    const auto got = build(fast);
+    ASSERT_TRUE(oracle.has_value());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->edges, oracle->edges);
+    EXPECT_EQ(got->wirelength2d, oracle->wirelength2d);
+    EXPECT_EQ(got->viaCount, oracle->viaCount);
+    // Sanity: the detour really is long (out and back around the wall).
+    EXPECT_GE(got->wirelength2d, 25 + 2 * 25);
+}
+
+TEST(MazeOracle, WindowedSearchStillFailsCleanlyWhenBlocked) {
+    // Same geometry as FailsWhenFullyBlocked, but with a tiny window:
+    // the search must grow through its windows, fall back to the full
+    // grid, and still report failure with nothing committed.
+    grid::RoutingGrid g(8, 8, 2, 1);
+    for (int y = 0; y < 8; ++y) g.addBlockage({{3, y}, {4, y}}, 0, 0);
+    for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 7; ++y) {
+            if (x >= 3 && x <= 4) g.addBlockage({{x, y}, {x, y}}, 1, 0);
+        }
+    }
+    grid::EdgeUsage usage(g);
+    MazeOptions opts;
+    opts.windowMargin = 1;
+    MazeRouter router(&usage, opts);
+    EXPECT_FALSE(router.route({{1, 4}, {6, 4}}, 0).has_value());
+    for (int e = 0; e < g.numEdges(); ++e) EXPECT_EQ(usage.usage(e), 0);
+}
+
+TEST(MazeOracle, SharedScratchMatchesPrivateScratch) {
+    // Caller-owned SearchState reused across many nets must not leak
+    // state between route() calls.
+    std::mt19937 rng(24680);
+    const MazeScenario s = randomScenario(&rng);
+    const MazeOptions opts;
+    const ReplayResult internalScratch = replay(s, opts);
+
+    grid::RoutingGrid g(s.w, s.h, s.layers, s.capacity);
+    for (const auto& [lo, hi] : s.blockRects) g.addBlockage({lo, hi}, 0, 0);
+    grid::EdgeUsage usage(g);
+    std::mt19937 congestion(s.w * 1000 + s.h);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int e = 0; e < g.numEdges(); ++e) {
+        if (unit(congestion) < 0.15) usage.add(e, 1);
+    }
+    MazeRouter router(&usage, opts);
+    SearchState shared;
+    for (size_t n = 0; n < s.nets.size(); ++n) {
+        const auto net = router.route(s.nets[n], 0, &shared);
+        ASSERT_EQ(net.has_value(), internalScratch.routed[n]) << "net " << n;
+        if (net) {
+            EXPECT_EQ(net->edges, internalScratch.edges[n]) << "net " << n;
+        }
+    }
 }
 
 TEST(SequentialRouter, RoutesFullDesign) {

@@ -10,6 +10,10 @@
 #   6. observability exports        (route a generated design with
 #                                    --report/--trace, validate both with
 #                                    tools/report_check)
+#   7. hot-path kernel bench        (micro_kernels --report over the
+#                                    shrunk synth suite; report_check
+#                                    --bench enforces the >= 30% pops /
+#                                    pivots drop and unchanged solutions)
 #
 # Usage:  tools/check.sh [--full]
 #   --full   run the entire ctest suite (not just the smoke subsets)
@@ -22,12 +26,12 @@ FULL=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/6] project lint pass =="
+echo "== [1/7] project lint pass =="
 cmake --preset dev >/dev/null
 cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
 ./build/tools/streak_lint src
 
-echo "== [2/6] clang-tidy =="
+echo "== [2/7] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # The dev preset exports compile_commands.json.
     mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
@@ -36,11 +40,11 @@ else
     echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
 fi
 
-echo "== [3/6] -Werror build =="
+echo "== [3/7] -Werror build =="
 cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 
-echo "== [4/6] ASan/UBSan =="
+echo "== [4/7] ASan/UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 if [[ "$FULL" == 1 ]]; then
@@ -51,7 +55,7 @@ else
     ./build-asan/tests/flow_test
 fi
 
-echo "== [5/6] ThreadSanitizer =="
+echo "== [5/7] ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 if [[ "$FULL" == 1 ]]; then
     cmake --build --preset tsan -j "$JOBS"
@@ -65,7 +69,7 @@ else
     ./build-tsan/tests/parallel_determinism_test
 fi
 
-echo "== [6/6] observability exports =="
+echo "== [6/7] observability exports =="
 cmake --build --preset dev --target streak_cli report_check -j "$JOBS" >/dev/null
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -73,5 +77,15 @@ trap 'rm -rf "$OBS_TMP"' EXIT
 ./build/tools/streak route "$OBS_TMP/synth1.streak" \
     --report="$OBS_TMP/report.json" --trace="$OBS_TMP/trace.json" --quiet
 ./build/tools/report_check "$OBS_TMP/report.json" "$OBS_TMP/trace.json"
+
+echo "== [7/7] hot-path kernel bench =="
+cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
+# Counter harness over the shrunk synth suite: before/after runs of the
+# maze-search and simplex kernels must produce identical solutions, and
+# report_check --bench enforces the >= 30% pops / pivots drop. The
+# committed BENCH_streak.json at the repo root is one such report, kept
+# as the reference data point.
+STREAK_BENCH_JSON="$OBS_TMP/bench.json" ./build/bench/micro_kernels --report
+./build/tools/report_check --bench "$OBS_TMP/bench.json"
 
 echo "check.sh: all stages passed"

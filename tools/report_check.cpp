@@ -1,6 +1,7 @@
 // Validator for the observability exports (DESIGN.md "Observability"):
 //
 //   report_check <report.json> [<trace.json>]
+//   report_check --bench <BENCH_streak.json>
 //
 // Checks the run report against the streak-run-report schema (header
 // fields, required sections, a "flow/run" root span) and, when given,
@@ -8,8 +9,17 @@
 // event carries ph/ts/pid/tid/name, and each (pid, tid) track's B/E
 // events balance like a bracket sequence with matching names.
 //
+// --bench validates a `micro_kernels --report` kernel-bench document
+// instead: the streak-kernel-bench schema (before/after sides with
+// counters and solutions per kernel per design) plus the performance
+// contract of the hot-path kernels — route/maze.pops and ilp/lp.pivots
+// must drop by at least 30% in total across the shrunk synth suite, and
+// no before/after pair may disagree on its solution.
+//
 // Exits non-zero with a message per problem; check.sh runs it as the
-// last stage over a fresh `streak route --report --trace` run.
+// last stage over a fresh `streak route --report --trace` run and over a
+// fresh kernel-bench report.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -186,11 +196,119 @@ void checkTrace(const std::string& path) {
     if (durations == 0) fail(path + ": no duration events");
 }
 
+/// One side (before / after) of a kernel-bench entry.
+const Value* checkBenchSide(const Value& entry, const std::string& key,
+                            const std::string& where) {
+    const Value* side = requireField(entry, key, Kind::Object, where);
+    if (side == nullptr) return nullptr;
+    requireField(*side, "variant", Kind::String, where + "/" + key);
+    requireField(*side, "seconds", Kind::Number, where + "/" + key);
+    requireField(*side, "counters", Kind::Object, where + "/" + key);
+    requireField(*side, "solution", Kind::Object, where + "/" + key);
+    return side;
+}
+
+/// The before/after runs must agree on every solution field (routed
+/// bits, wirelength, vias, objective, ...): the kernel rewrites are
+/// required to be outcome-preserving, not just faster.
+void checkBenchSolutions(const Value& before, const Value& after,
+                         const std::string& where) {
+    const Value* sb = before.find("solution");
+    const Value* sa = after.find("solution");
+    if (sb == nullptr || sa == nullptr || sb->kind() != Kind::Object ||
+        sa->kind() != Kind::Object) {
+        return;  // already reported by checkBenchSide
+    }
+    for (const auto& [key, value] : sb->asObject().items()) {
+        const Value* other = sa->find(key);
+        if (other == nullptr || other->kind() != value.kind()) {
+            fail(where + ": solution field \"" + key +
+                 "\" missing or mistyped on the after side");
+            continue;
+        }
+        bool same = true;
+        if (value.kind() == Kind::Number) {
+            same = std::abs(value.asNumber() - other->asNumber()) <= 1e-6;
+        } else if (value.kind() == Kind::Bool) {
+            same = value.asBool() == other->asBool();
+        }
+        if (!same) {
+            fail(where + ": before/after disagree on solution field \"" +
+                 key + "\"");
+        }
+    }
+}
+
+/// Total drop of a kernel's headline counter, from the totals section.
+void checkBenchDrop(const Value& totals, const std::string& kernel,
+                    const std::string& path) {
+    const Value* section =
+        requireField(totals, kernel, Kind::Object, path + ":totals");
+    if (section == nullptr) return;
+    const Value* drop = requireField(*section, "dropPercent", Kind::Number,
+                                     path + ":totals/" + kernel);
+    if (drop != nullptr && drop->asNumber() < 30.0) {
+        fail(path + ": " + kernel + " counter drop is " +
+             std::to_string(drop->asNumber()) +
+             "%, below the 30% performance contract");
+    }
+}
+
+void checkBench(const std::string& path) {
+    const Value doc = parseFile(path);
+    if (doc.isNull()) return;
+    if (doc.kind() != Kind::Object) {
+        fail(path + ": top level is not an object");
+        return;
+    }
+    const Value* schema = requireField(doc, "schema", Kind::String, path);
+    if (schema != nullptr && schema->asString() != "streak-kernel-bench") {
+        fail(path + ": schema is \"" + schema->asString() +
+             "\", expected \"streak-kernel-bench\"");
+    }
+    const Value* version =
+        requireField(doc, "schemaVersion", Kind::Number, path);
+    if (version != nullptr && static_cast<int>(version->asNumber()) != 1) {
+        fail(path + ": unsupported schemaVersion");
+    }
+    const Value* kernels = requireField(doc, "kernels", Kind::Array, path);
+    if (kernels != nullptr) {
+        if (kernels->asArray().empty()) fail(path + ": no kernel entries");
+        for (size_t i = 0; i < kernels->asArray().size(); ++i) {
+            const Value& entry = kernels->asArray()[i];
+            const std::string where =
+                path + ":kernel[" + std::to_string(i) + "]";
+            requireField(entry, "kernel", Kind::String, where);
+            requireField(entry, "design", Kind::String, where);
+            const Value* before = checkBenchSide(entry, "before", where);
+            const Value* after = checkBenchSide(entry, "after", where);
+            if (before != nullptr && after != nullptr) {
+                checkBenchSolutions(*before, *after, where);
+            }
+        }
+    }
+    const Value* totals = requireField(doc, "totals", Kind::Object, path);
+    if (totals != nullptr) {
+        checkBenchDrop(*totals, "maze", path);
+        checkBenchDrop(*totals, "lp", path);
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc == 3 && std::string(argv[1]) == "--bench") {
+        checkBench(argv[2]);
+        if (errors > 0) {
+            std::cerr << "report_check: " << errors << " problem(s)\n";
+            return 1;
+        }
+        std::cout << "report_check: ok\n";
+        return 0;
+    }
     if (argc < 2 || argc > 3) {
-        std::cerr << "usage: report_check <report.json> [<trace.json>]\n";
+        std::cerr << "usage: report_check <report.json> [<trace.json>]\n"
+                     "       report_check --bench <BENCH_streak.json>\n";
         return 2;
     }
     checkReport(argv[1]);
