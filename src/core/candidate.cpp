@@ -13,7 +13,7 @@ namespace {
 void accumulateEdgeUse(const grid::RoutingGrid& grid,
                        const steiner::Topology& topo, int hLayer, int vLayer,
                        std::map<int, int>* use) {
-    for (const steiner::UnitEdge& e : topo.wire()) {
+    for (const steiner::UnitEdge& e : topo.wire()) {  // analyze-ok: unordered-iteration (counting into an ordered map)
         const int layer = e.horizontal ? hLayer : vLayer;
         if (grid.validEdge(layer, e.at.x, e.at.y)) {
             ++(*use)[grid.edgeId(layer, e.at.x, e.at.y)];

@@ -1,6 +1,6 @@
 #include "core/solution.hpp"
 
-#include <unordered_map>
+#include <map>
 
 namespace streak {
 
@@ -29,8 +29,10 @@ double solutionObjective(const RoutingProblem& prob,
 int makeCapacityFeasible(const RoutingProblem& prob, RoutingSolution* sol) {
     const grid::RoutingGrid& grid = prob.design->grid;
     std::vector<long> usage(static_cast<size_t>(grid.numEdges()), 0);
-    // edge -> objects currently using it, with amounts.
-    std::unordered_map<int, std::vector<std::pair<int, int>>> users;
+    // edge -> objects currently using it, with amounts. Ordered map: the
+    // victim-dropping loop below walks it, and which objects survive an
+    // over-capacity edge depends on the walk order.
+    std::map<int, std::vector<std::pair<int, int>>> users;
     for (int i = 0; i < prob.numObjects(); ++i) {
         const int j = sol->chosen[static_cast<size_t>(i)];
         if (j < 0) continue;
@@ -42,7 +44,7 @@ int makeCapacityFeasible(const RoutingProblem& prob, RoutingSolution* sol) {
         }
     }
     std::vector<long> viaUsage(static_cast<size_t>(grid.numCells()), 0);
-    std::unordered_map<int, std::vector<std::pair<int, int>>> viaUsers;
+    std::map<int, std::vector<std::pair<int, int>>> viaUsers;
     if (grid.viaLimited()) {
         for (int i = 0; i < prob.numObjects(); ++i) {
             const int j = sol->chosen[static_cast<size_t>(i)];

@@ -70,7 +70,8 @@ void writeSvg(const RoutedDesign& routed, std::ostream& os,
             (bit.hLayer * g.numLayers() + bit.vLayer) % kPalette.size());
         os << "<g stroke=\"" << kPalette[colour]
            << "\" stroke-width=\"2\" stroke-linecap=\"round\">\n";
-        for (const steiner::UnitEdge& e : bit.topo.wire()) {
+        // Sorted so the emitted SVG is byte-identical across toolchains.
+        for (const steiner::UnitEdge& e : bit.topo.sortedWire()) {
             const geom::Point a = e.at;
             const geom::Point b = e.other();
             os << "<line x1=\"" << px(a.x) << "\" y1=\"" << py(a.y)

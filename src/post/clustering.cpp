@@ -41,7 +41,7 @@ double baseCost(const steiner::Topology& t, const StreakOptions& opts) {
 bool fits(const grid::EdgeUsage& usage, const steiner::Topology& t, int h,
           int v) {
     const grid::RoutingGrid& grid = usage.grid();
-    for (const steiner::UnitEdge& e : t.wire()) {
+    for (const steiner::UnitEdge& e : t.wire()) {  // analyze-ok: unordered-iteration (all-of check; order cannot escape)
         const int layer = e.horizontal ? h : v;
         if (!grid.validEdge(layer, e.at.x, e.at.y)) return false;
         if (usage.remaining(grid.edgeId(layer, e.at.x, e.at.y)) < 1) {
@@ -58,7 +58,7 @@ bool fits(const grid::EdgeUsage& usage, const steiner::Topology& t, int h,
 
 void commit(grid::EdgeUsage* usage, const steiner::Topology& t, int h, int v) {
     const grid::RoutingGrid& grid = usage->grid();
-    for (const steiner::UnitEdge& e : t.wire()) {
+    for (const steiner::UnitEdge& e : t.wire()) {  // analyze-ok: unordered-iteration (commutative usage adds)
         const int layer = e.horizontal ? h : v;
         usage->add(grid.edgeId(layer, e.at.x, e.at.y), 1);
     }

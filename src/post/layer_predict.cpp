@@ -1,7 +1,10 @@
 #include "post/layer_predict.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace streak::post {
 
@@ -16,9 +19,16 @@ LayerPrediction predictLayers(
         if (cands.empty()) continue;
         const double w = 1.0 / static_cast<double>(cands.size());
         for (const steiner::Topology& t : cands) {
-            for (const steiner::UnitEdge& e : t.wire()) u[e] += w;
+            // Per-key accumulation: each edge gains w once per topology, in
+            // the deterministic candidate order, whatever the wire order.
+            for (const steiner::UnitEdge& e : t.wire()) u[e] += w;  // analyze-ok: unordered-iteration
         }
     }
+    // The conflict sums below add doubles in visit order; materialize the
+    // demand map sorted so the floating-point result is reproducible.
+    std::vector<std::pair<steiner::UnitEdge, double>> demandByEdge(u.begin(),
+                                                                   u.end());
+    std::sort(demandByEdge.begin(), demandByEdge.end());
 
     // Eq. (8): cf(l, g) = sum_e max(u(e) - cap_remaining(e_l), 0).
     LayerPrediction out;
@@ -27,7 +37,7 @@ LayerPrediction predictLayers(
     for (int l = 0; l < grid.numLayers(); ++l) {
         double cf = 0.0;
         const bool horizontal = grid.layerDir(l) == grid::Dir::Horizontal;
-        for (const auto& [e, demand] : u) {
+        for (const auto& [e, demand] : demandByEdge) {
             if (e.horizontal != horizontal) continue;
             if (!grid.validEdge(l, e.at.x, e.at.y)) continue;
             const double rem =

@@ -256,7 +256,7 @@ std::vector<geom::Rect> groupSearchRegion(const StreakOptions& opts,
         if (pins.empty()) continue;
         geom::Rect box{pins.front(), pins.front()};
         for (const geom::Point p : pins) box.expand(p);
-        for (const geom::Point p : bit.topo.wirePoints()) box.expand(p);
+        for (const geom::Point p : bit.topo.wirePoints()) box.expand(p);  // analyze-ok: unordered-iteration (commutative bbox expand)
         // Each violation applies at most one detour of shift
         // <= maxDetourShift, and a later connection may sit on wire a
         // previous detour already displaced — so the reachable region

@@ -199,9 +199,12 @@ namespace {
 /// non-pin stubs, returning a proper tree covering all pins.
 Topology pruneToTree(const Topology& t) {
     if (t.isTree()) return t;
-    // Spanning tree via BFS over the wire graph.
+    // Spanning tree via DFS over the wire graph. Which cycle edges get
+    // dropped depends on the neighbour visit order, so build the
+    // adjacency from the sorted wire view — hash-set order would make
+    // the pruned tree differ across standard libraries.
     std::unordered_map<geom::Point, std::vector<geom::Point>> adj;
-    for (const UnitEdge& e : t.wire()) {
+    for (const UnitEdge& e : t.sortedWire()) {
         adj[e.at].push_back(e.other());
         adj[e.other()].push_back(e.at);
     }
@@ -228,13 +231,14 @@ Topology pruneToTree(const Topology& t) {
     // Trim degree-1 non-pin leaves repeatedly.
     std::unordered_set<geom::Point> pinSet(t.pins().begin(), t.pins().end());
     for (;;) {
+        const std::vector<UnitEdge> edges = out.sortedWire();
         std::unordered_map<geom::Point, int> degree;
-        for (const UnitEdge& e : out.wire()) {
+        for (const UnitEdge& e : edges) {
             ++degree[e.at];
             ++degree[e.other()];
         }
         std::vector<UnitEdge> removable;
-        for (const UnitEdge& e : out.wire()) {
+        for (const UnitEdge& e : edges) {
             const bool leafA = degree[e.at] == 1 && !pinSet.contains(e.at);
             const bool leafB = degree[e.other()] == 1 && !pinSet.contains(e.other());
             if (leafA || leafB) removable.push_back(e);
@@ -243,7 +247,7 @@ Topology pruneToTree(const Topology& t) {
         Topology next(out.pins(), out.driverIndex());
         std::unordered_set<UnitEdge, UnitEdgeHash> drop(removable.begin(),
                                                         removable.end());
-        for (const UnitEdge& e : out.wire()) {
+        for (const UnitEdge& e : edges) {
             if (!drop.contains(e)) next.addSegment(e.segment());
         }
         out = std::move(next);

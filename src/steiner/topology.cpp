@@ -77,17 +77,38 @@ void Topology::removeSegment(const geom::Segment& seg) {
 
 std::unordered_set<geom::Point> Topology::wirePoints() const {
     std::unordered_set<geom::Point> points;
-    for (const UnitEdge& e : wire_) {
+    for (const UnitEdge& e : wire_) {  // analyze-ok: unordered-iteration (set union; order cannot escape)
         points.insert(e.at);
         points.insert(e.other());
     }
     return points;
 }
 
+std::vector<UnitEdge> Topology::sortedWire() const {
+    std::vector<UnitEdge> edges(wire_.begin(), wire_.end());
+    std::sort(edges.begin(), edges.end());
+    return edges;
+}
+
+std::vector<geom::Point> Topology::sortedWirePoints() const {
+    std::vector<geom::Point> points;
+    points.reserve(wire_.size() * 2);
+    for (const UnitEdge& e : sortedWire()) {
+        points.push_back(e.at);
+        points.push_back(e.other());
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    return points;
+}
+
 std::unordered_map<geom::Point, std::vector<geom::Point>> Topology::adjacency()
     const {
+    // Built over the sorted view so each neighbour list is in a
+    // reproducible order — BFS tie-breaks downstream then match across
+    // standard libraries.
     std::unordered_map<geom::Point, std::vector<geom::Point>> adj;
-    for (const UnitEdge& e : wire_) {
+    for (const UnitEdge& e : sortedWire()) {
         adj[e.at].push_back(e.other());
         adj[e.other()].push_back(e.at);
     }
@@ -118,7 +139,7 @@ bool Topology::connected() const {
         if (!seen.contains(p)) return false;
     }
     // Also require the wire itself to be one component (no floating metal).
-    for (const UnitEdge& e : wire_) {
+    for (const UnitEdge& e : wire_) {  // analyze-ok: unordered-iteration (membership check only)
         if (!seen.contains(e.at)) return false;
     }
     return true;
@@ -129,7 +150,7 @@ bool Topology::isTree() const {
     // |V| = |E| + 1 for a tree; count distinct lattice points in the wire.
     if (wire_.empty()) return true;
     std::unordered_set<geom::Point> points;
-    for (const UnitEdge& e : wire_) {
+    for (const UnitEdge& e : wire_) {  // analyze-ok: unordered-iteration (set union; only the size escapes)
         points.insert(e.at);
         points.insert(e.other());
     }
@@ -141,13 +162,8 @@ int Topology::bendCount() const {
 }
 
 std::vector<geom::Point> Topology::viaPoints() const {
-    std::unordered_set<geom::Point> points;
-    for (const UnitEdge& e : wire_) {
-        points.insert(e.at);
-        points.insert(e.other());
-    }
     std::vector<geom::Point> vias;
-    for (geom::Point p : points) {
+    for (geom::Point p : sortedWirePoints()) {
         const Incidence inc = incidenceAt(wire_, p);
         if (inc.hasHorizontal() && inc.hasVertical()) vias.push_back(p);
     }
@@ -188,12 +204,11 @@ TopoStructure Topology::structure() const {
         pinAt.emplace(pins_[i], static_cast<int>(i));
     }
 
-    std::unordered_set<geom::Point> points;
-    for (const UnitEdge& e : wire_) {
-        points.insert(e.at);
-        points.insert(e.other());
-    }
-    for (geom::Point p : pins_) points.insert(p);
+    std::vector<geom::Point> featurePts = sortedWirePoints();
+    featurePts.insert(featurePts.end(), pins_.begin(), pins_.end());
+    std::sort(featurePts.begin(), featurePts.end());
+    featurePts.erase(std::unique(featurePts.begin(), featurePts.end()),
+                     featurePts.end());
 
     auto isFeature = [&](geom::Point p, const Incidence& inc) {
         if (pinAt.contains(p)) return true;
@@ -202,7 +217,7 @@ TopoStructure Topology::structure() const {
         return inc.hasHorizontal() && inc.hasVertical();  // bend
     };
 
-    for (geom::Point p : points) {
+    for (geom::Point p : featurePts) {
         const Incidence inc = incidenceAt(wire_, p);
         if (!isFeature(p, inc)) continue;
         TopoStructure::Node n;
@@ -233,7 +248,9 @@ TopoStructure Topology::structure() const {
             default: return {{p.x, p.y - 1}, false};
         }
     };
-    for (const auto& [start, startIdx] : nodeOf) {
+    for (int startIdx = 0; startIdx < static_cast<int>(st.nodes.size());
+         ++startIdx) {
+        const geom::Point start = st.nodes[static_cast<size_t>(startIdx)].pt;
         for (int dir = 0; dir < 4; ++dir) {
             if (!wire_.contains(edgeTowards(start, dir))) continue;
             geom::Point p = start;
@@ -258,7 +275,7 @@ Topology Topology::remap(const std::unordered_map<int, int>& xMap,
     newPins.reserve(pins_.size());
     for (geom::Point p : pins_) newPins.push_back(mapPt(p));
     Topology out(std::move(newPins), driver_);
-    for (const UnitEdge& e : wire_) {
+    for (const UnitEdge& e : wire_) {  // analyze-ok: unordered-iteration (set-to-set remap; order cannot escape)
         out.addSegment({mapPt(e.at), mapPt(e.other())});
     }
     return out;
@@ -269,7 +286,7 @@ Topology Topology::translate(int dx, int dy) const {
     newPins.reserve(pins_.size());
     for (geom::Point p : pins_) newPins.push_back({p.x + dx, p.y + dy});
     Topology out(std::move(newPins), driver_);
-    for (const UnitEdge& e : wire_) {
+    for (const UnitEdge& e : wire_) {  // analyze-ok: unordered-iteration (set-to-set translate; order cannot escape)
         const geom::Point a{e.at.x + dx, e.at.y + dy};
         out.wire_.insert({a, e.horizontal});
     }
@@ -279,7 +296,7 @@ Topology Topology::translate(int dx, int dy) const {
 std::uint64_t Topology::wireHash() const {
     // XOR of per-edge hashes is order independent.
     std::uint64_t h = 0x9e3779b97f4a7c15ull;
-    for (const UnitEdge& e : wire_) {
+    for (const UnitEdge& e : wire_) {  // analyze-ok: unordered-iteration (XOR fold is order independent)
         std::uint64_t k = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.at.x)) << 33) ^
                           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.at.y)) << 1) ^
                           (e.horizontal ? 1u : 0u);

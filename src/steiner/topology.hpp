@@ -82,6 +82,14 @@ public:
     [[nodiscard]] const std::unordered_set<UnitEdge, UnitEdgeHash>& wire() const {
         return wire_;
     }
+
+    /// The wire edges in lexicographic order. Iterate this (not wire())
+    /// wherever the visit order can reach a result — hash-set order is
+    /// STL-specific and would break cross-toolchain reproducibility.
+    [[nodiscard]] std::vector<UnitEdge> sortedWire() const;
+
+    /// All lattice points touched by the wire, in lexicographic order.
+    [[nodiscard]] std::vector<geom::Point> sortedWirePoints() const;
     [[nodiscard]] bool empty() const { return wire_.empty(); }
 
     /// Total wire-length (number of unit edges).

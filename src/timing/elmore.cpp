@@ -30,9 +30,12 @@ std::vector<double> elmoreDelays(const steiner::Topology& topo,
                                  const ElmoreParameters& params) {
     std::vector<double> out(topo.pins().size(), -1.0);
 
-    // Lattice adjacency of the wire graph.
+    // Lattice adjacency of the wire graph, from the sorted view: the BFS
+    // node numbering (and with it the floating-point accumulation order
+    // of subtree capacitances) follows the neighbour order, so hash-set
+    // order would change delays in the last bits across toolchains.
     std::unordered_map<Point, std::vector<Point>> adj;
-    for (const UnitEdge& e : topo.wire()) {
+    for (const UnitEdge& e : topo.sortedWire()) {
         adj[e.at].push_back(e.other());
         adj[e.other()].push_back(e.at);
     }

@@ -1,0 +1,3 @@
+#pragma once
+// Layering fixture: the upper module that geom may not include.
+inline int flowTop() { return 1; }

@@ -1,0 +1,3 @@
+// Layering fixture: geom reaching up into flow must be rejected.
+#include "flow/streak.hpp"
+#include "geom/ok.hpp"

@@ -1,0 +1,3 @@
+#pragma once
+// Layering fixture: a quiet geom header.
+inline int geomOk() { return 0; }

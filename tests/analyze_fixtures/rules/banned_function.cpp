@@ -1,0 +1,6 @@
+// Fixture: banned-function — fire, waive, stale waiver.
+#include <cstdio>
+
+int fire(char* buf) { return std::sprintf(buf, "x"); }
+int waived(char* buf) { return std::sprintf(buf, "y"); }  // analyze-ok: banned-function
+// analyze-ok: banned-function

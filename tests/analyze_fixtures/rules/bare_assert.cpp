@@ -1,0 +1,5 @@
+// Fixture: bare-assert — the include and the call both fire.
+#include <cassert>
+void fire(int x) { assert(x > 0); }
+void waived(int x) { assert(x > 0); }  // analyze-ok: bare-assert
+// analyze-ok: bare-assert

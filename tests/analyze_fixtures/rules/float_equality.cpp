@@ -1,0 +1,5 @@
+// Fixture: float-equality, including the legacy float-eq alias.
+bool fire(double x) { return x == 0.5; }
+bool waived(double x) { return x != 1.0; }  // analyze-ok: float-equality
+bool aliasWaived(double x) { return x == 2.5; }  // lint-ok: float-eq
+// analyze-ok: float-equality

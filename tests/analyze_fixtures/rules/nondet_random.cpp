@@ -1,0 +1,7 @@
+// Fixture: nondet-random; explicitly seeded engines are fine.
+#include <random>
+std::random_device fire;
+std::mt19937 fireUnseeded;
+std::mt19937 seededIsFine{42};
+std::mt19937 waived;  // analyze-ok: nondet-random
+// analyze-ok: nondet-random

@@ -1,0 +1,9 @@
+// Fixture: pointer-keyed containers; pointer mapped values are fine.
+#include <map>
+#include <set>
+struct Node;
+std::map<Node*, int> fire;
+std::set<const Node*> fire2;
+std::map<int, Node*> valueIsFine;
+std::map<Node*, int> waived;  // analyze-ok: pointer-keyed
+// analyze-ok: pointer-keyed

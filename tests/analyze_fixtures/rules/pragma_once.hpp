@@ -1,0 +1,2 @@
+// Fixture: a header missing #pragma once (the finding lands on line 1).
+inline int one() { return 1; }

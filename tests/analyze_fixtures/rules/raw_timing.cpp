@@ -1,0 +1,9 @@
+// Fixture: raw-timing (fixture paths sit outside src/, so no exemption).
+#include <chrono>
+long fire() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+long waived() {
+    return std::chrono::system_clock::now().time_since_epoch().count();  // analyze-ok: raw-timing
+}
+// analyze-ok: raw-timing

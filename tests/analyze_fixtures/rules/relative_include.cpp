@@ -1,0 +1,4 @@
+// Fixture: relative-include.
+#include "../escape/hatch.hpp"
+#include "./sibling.hpp"  // analyze-ok: relative-include
+// analyze-ok: relative-include

@@ -1,0 +1,6 @@
+// Fixture: thread-state (fixture paths sit outside src/, so no exemption).
+#include <thread>
+thread_local int fire = 0;
+auto fireId() { return std::this_thread::get_id(); }
+thread_local int waived = 0;  // analyze-ok: thread-state
+// analyze-ok: thread-state

@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: functions returning unordered containers are visible to every
+// scanned file, not just their own translation unit.
+#include <unordered_set>
+std::unordered_set<int> edges();

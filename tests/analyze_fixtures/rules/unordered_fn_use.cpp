@@ -1,0 +1,7 @@
+// Fixture: consumes unordered_fn.hpp's edges() from another file.
+#include "unordered_fn.hpp"
+int countEdges() {
+    int n = 0;
+    for (int e : edges()) n += e;
+    return n;
+}

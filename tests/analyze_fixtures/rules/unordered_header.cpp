@@ -1,0 +1,7 @@
+// Fixture: iterating a member declared unordered in the companion header.
+#include "unordered_header.hpp"
+int sumOf(const Holder& h) {
+    int sum = 0;
+    for (int v : h.stuff_) sum += v;
+    return sum;
+}

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: the companion header declares the unordered member that the
+// .cpp of the same name iterates.
+#include <unordered_set>
+struct Holder {
+    std::unordered_set<int> stuff_;
+};

@@ -1,0 +1,16 @@
+// Fixture: unordered-iteration over a locally declared container.
+#include <unordered_set>
+namespace fx {
+std::unordered_set<int> bag;
+int fire() {
+    int sum = 0;
+    for (int v : bag) sum += v;
+    return sum;
+}
+int waived() {
+    int sum = 0;
+    for (int v : bag) sum += v;  // analyze-ok: unordered-iteration
+    return sum;
+}
+}  // namespace fx
+// analyze-ok: unordered-iteration

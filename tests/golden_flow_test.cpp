@@ -70,7 +70,7 @@ constexpr GoldenRow kGolden[] = {
     {2, 37, 37, 438, 1, 0, 0, 0, 0},
     {3, 34, 34, 511, 1, 0, 0, 0, 0},
     {4, 60, 60, 887, 1, 0, 0, 1, 0},
-    {5, 41, 41, 762, 0.88888888888888884, 0, 0, 2, 0},
+    {5, 41, 41, 752, 0.875, 0, 0, 2, 1},
     {6, 109, 107, 1651, 0.78642857142857148, 0, 0, 2, 3},
     {7, 67, 67, 1036, 0.875, 0, 0, 3, 0},
 };

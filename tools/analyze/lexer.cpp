@@ -1,0 +1,293 @@
+#include "analyze/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace streak::analyze {
+
+namespace {
+
+bool isIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Multi-character punctuators, longest first so maximal munch works with
+/// a simple prefix scan.
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+    "++",  "--",
+};
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view src) : src_(src) {}
+
+    LexedSource run() {
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                atLineStart_ = true;
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+                ++pos_;
+                continue;
+            }
+            if (c == '/' && peek(1) == '/') {
+                lexLineComment();
+                continue;
+            }
+            if (c == '/' && peek(1) == '*') {
+                lexBlockComment();
+                continue;
+            }
+            if (c == '#' && atLineStart_) {
+                lexDirective();
+                continue;
+            }
+            atLineStart_ = false;
+            if (c == '"') {
+                lexString();
+                continue;
+            }
+            if (c == '\'') {
+                lexChar();
+                continue;
+            }
+            if (isIdentStart(c)) {
+                lexIdentifier();
+                continue;
+            }
+            if (isDigit(c) || (c == '.' && isDigit(peek(1)))) {
+                lexNumber();
+                continue;
+            }
+            lexPunct();
+        }
+        return std::move(out_);
+    }
+
+private:
+    [[nodiscard]] char peek(size_t ahead) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    void emit(TokKind kind, size_t begin, int line) {
+        out_.tokens.push_back(
+            {kind, std::string(src_.substr(begin, pos_ - begin)), line});
+    }
+
+    void lexLineComment() {
+        const size_t begin = pos_;
+        const int line = line_;
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        out_.comments.push_back(
+            {std::string(src_.substr(begin, pos_ - begin)), line});
+    }
+
+    void lexBlockComment() {
+        const size_t begin = pos_;
+        const int line = line_;
+        pos_ += 2;
+        while (pos_ < src_.size()) {
+            if (src_[pos_] == '*' && peek(1) == '/') {
+                pos_ += 2;
+                break;
+            }
+            if (src_[pos_] == '\n') ++line_;
+            ++pos_;
+        }
+        out_.comments.push_back(
+            {std::string(src_.substr(begin, pos_ - begin)), line});
+    }
+
+    /// Ordinary string literal starting at a '"'; escapes respected.
+    void lexString() {
+        const size_t begin = pos_;
+        const int line = line_;
+        ++pos_;
+        while (pos_ < src_.size()) {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+                pos_ += 2;
+                continue;
+            }
+            if (src_[pos_] == '"') {
+                ++pos_;
+                break;
+            }
+            if (src_[pos_] == '\n') ++line_;  // ill-formed, but keep lines
+            ++pos_;
+        }
+        out_.tokens.push_back(
+            {TokKind::String, std::string(src_.substr(begin, pos_ - begin)),
+             line});
+    }
+
+    /// Raw string literal: pos_ sits on the '"' after an R-suffixed prefix.
+    void lexRawString(size_t prefixBegin, int line) {
+        ++pos_;  // consume the quote
+        const size_t delimBegin = pos_;
+        while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+        const std::string closer =
+            ")" + std::string(src_.substr(delimBegin, pos_ - delimBegin)) + "\"";
+        while (pos_ < src_.size()) {
+            if (src_.compare(pos_, closer.size(), closer) == 0) {
+                pos_ += closer.size();
+                break;
+            }
+            if (src_[pos_] == '\n') ++line_;
+            ++pos_;
+        }
+        out_.tokens.push_back(
+            {TokKind::String,
+             std::string(src_.substr(prefixBegin, pos_ - prefixBegin)), line});
+    }
+
+    void lexChar() {
+        const size_t begin = pos_;
+        const int line = line_;
+        ++pos_;
+        while (pos_ < src_.size()) {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+                pos_ += 2;
+                continue;
+            }
+            if (src_[pos_] == '\'') {
+                ++pos_;
+                break;
+            }
+            if (src_[pos_] == '\n') break;  // unterminated; don't eat lines
+            ++pos_;
+        }
+        out_.tokens.push_back(
+            {TokKind::Char, std::string(src_.substr(begin, pos_ - begin)),
+             line});
+    }
+
+    void lexIdentifier() {
+        const size_t begin = pos_;
+        const int line = line_;
+        while (pos_ < src_.size() && isIdentChar(src_[pos_])) ++pos_;
+        const std::string_view id = src_.substr(begin, pos_ - begin);
+        // Raw (and prefixed-raw) string literals: the prefix ends in R and
+        // a quote follows immediately.
+        if (pos_ < src_.size() && src_[pos_] == '"' &&
+            (id == "R" || id == "u8R" || id == "uR" || id == "LR" ||
+             id == "UR")) {
+            lexRawString(begin, line);
+            return;
+        }
+        // Encoding prefixes of ordinary literals (u8"x", L'c'): emit the
+        // literal alone; the prefix is irrelevant to every rule.
+        emit(TokKind::Identifier, begin, line);
+    }
+
+    /// pp-number: digits plus identifier chars, dots, digit separators and
+    /// signed exponents. Over-accepts, which is fine for rule purposes.
+    void lexNumber() {
+        const size_t begin = pos_;
+        const int line = line_;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (isIdentChar(c) || c == '.' || c == '\'') {
+                const bool exponent = (c == 'e' || c == 'E' || c == 'p' ||
+                                       c == 'P') &&
+                                      (peek(1) == '+' || peek(1) == '-');
+                ++pos_;
+                if (exponent) ++pos_;
+                continue;
+            }
+            break;
+        }
+        emit(TokKind::Number, begin, line);
+    }
+
+    void lexPunct() {
+        const size_t begin = pos_;
+        const int line = line_;
+        for (const std::string_view p : kPuncts) {
+            if (src_.compare(pos_, p.size(), p) == 0) {
+                pos_ += p.size();
+                emit(TokKind::Punct, begin, line);
+                return;
+            }
+        }
+        ++pos_;
+        emit(TokKind::Punct, begin, line);
+    }
+
+    /// Preprocessor directive: `#include` and `#pragma once` are absorbed
+    /// into structured fields; any other directive has its body lexed as
+    /// ordinary tokens so rules still see macro definitions.
+    void lexDirective() {
+        atLineStart_ = false;
+        ++pos_;  // '#'
+        while (pos_ < src_.size() &&
+               (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+            ++pos_;
+        }
+        const size_t nameBegin = pos_;
+        while (pos_ < src_.size() && isIdentChar(src_[pos_])) ++pos_;
+        const std::string_view name = src_.substr(nameBegin, pos_ - nameBegin);
+        if (name == "include") {
+            lexIncludeTarget();
+            return;
+        }
+        if (name == "pragma") {
+            const size_t rest = pos_;
+            size_t end = rest;
+            while (end < src_.size() && src_[end] != '\n') ++end;
+            if (src_.substr(rest, end - rest).find("once") !=
+                std::string_view::npos) {
+                out_.pragmaOnce = true;
+            }
+            pos_ = end;
+            return;
+        }
+        // Everything else (define, if, ifdef, ...) falls back to normal
+        // lexing; backslash-newline continuations tokenize harmlessly.
+    }
+
+    void lexIncludeTarget() {
+        while (pos_ < src_.size() &&
+               (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+            ++pos_;
+        }
+        if (pos_ >= src_.size()) return;
+        const int line = line_;
+        const char open = src_[pos_];
+        if (open != '"' && open != '<') return;  // computed include; skip
+        const char close = open == '"' ? '"' : '>';
+        ++pos_;
+        const size_t begin = pos_;
+        while (pos_ < src_.size() && src_[pos_] != close &&
+               src_[pos_] != '\n') {
+            ++pos_;
+        }
+        out_.includes.push_back(
+            {std::string(src_.substr(begin, pos_ - begin)), open == '<',
+             line});
+        if (pos_ < src_.size() && src_[pos_] == close) ++pos_;
+    }
+
+    std::string_view src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    bool atLineStart_ = true;
+    LexedSource out_;
+};
+
+}  // namespace
+
+LexedSource lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace streak::analyze

@@ -1,0 +1,72 @@
+#include "analyze/sarif.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace streak::analyze {
+
+namespace js = obs::json;
+
+js::Value sarifDocument(const std::vector<Finding>& findings) {
+    js::Array rules;
+    std::vector<std::string> ruleIds;
+    for (const RuleInfo& r : ruleCatalog()) {
+        js::Object rule;
+        rule.set("id", std::string(r.id));
+        js::Object shortDesc;
+        shortDesc.set("text", std::string(r.summary));
+        rule.set("shortDescription", std::move(shortDesc));
+        rules.push_back(std::move(rule));
+        ruleIds.emplace_back(r.id);
+    }
+
+    js::Object driver;
+    driver.set("name", "streak_analyze");
+    driver.set("informationUri", "DESIGN.md#static-analysis");
+    driver.set("rules", std::move(rules));
+    js::Object tool;
+    tool.set("driver", std::move(driver));
+
+    js::Array results;
+    for (const Finding& f : findings) {
+        js::Object result;
+        result.set("ruleId", f.rule);
+        const auto at = std::find(ruleIds.begin(), ruleIds.end(), f.rule);
+        if (at != ruleIds.end()) {
+            result.set("ruleIndex",
+                       static_cast<int>(at - ruleIds.begin()));
+        }
+        result.set("level", "error");
+        js::Object message;
+        message.set("text", f.message);
+        result.set("message", std::move(message));
+
+        js::Object artifact;
+        artifact.set("uri", f.file);
+        js::Object region;
+        region.set("startLine", f.line < 1 ? 1 : f.line);
+        js::Object physical;
+        physical.set("artifactLocation", std::move(artifact));
+        physical.set("region", std::move(region));
+        js::Object location;
+        location.set("physicalLocation", std::move(physical));
+        js::Array locations;
+        locations.push_back(std::move(location));
+        result.set("locations", std::move(locations));
+        results.push_back(std::move(result));
+    }
+
+    js::Object run;
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    js::Array runs;
+    runs.push_back(std::move(run));
+
+    js::Object doc;
+    doc.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    doc.set("version", "2.1.0");
+    doc.set("runs", std::move(runs));
+    return js::Value(std::move(doc));
+}
+
+}  // namespace streak::analyze

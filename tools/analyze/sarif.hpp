@@ -1,0 +1,20 @@
+// SARIF 2.1.0 export of analyzer findings (DESIGN.md "Static analysis").
+// The document is built on the in-tree src/obs/json writer, so it stays
+// parseable by the same parser the tests and report tooling already use;
+// editors and CI services ingest it natively.
+#pragma once
+
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "obs/json.hpp"
+
+namespace streak::analyze {
+
+/// Build the SARIF document: one run, the full rule catalog under
+/// tool.driver.rules, one result per finding (level "error" — the
+/// analyzer has no advisory tier; waivers are the escape hatch).
+[[nodiscard]] obs::json::Value sarifDocument(
+    const std::vector<Finding>& findings);
+
+}  // namespace streak::analyze

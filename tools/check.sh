@@ -14,6 +14,10 @@
 #                                    shrunk synth suite; report_check
 #                                    --bench enforces the >= 30% pops /
 #                                    pivots drop and unchanged solutions)
+#   8. static analysis              (tools/analyze: determinism rule
+#                                    pack + module layering DAG over
+#                                    src/ and tools/, SARIF artifact at
+#                                    build/analyze.sarif)
 #
 # Usage:  tools/check.sh [--full]
 #   --full   run the entire ctest suite (not just the smoke subsets)
@@ -26,12 +30,12 @@ FULL=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/7] project lint pass =="
+echo "== [1/8] project lint pass =="
 cmake --preset dev >/dev/null
 cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
 ./build/tools/streak_lint src
 
-echo "== [2/7] clang-tidy =="
+echo "== [2/8] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # The dev preset exports compile_commands.json.
     mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
@@ -40,11 +44,11 @@ else
     echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
 fi
 
-echo "== [3/7] -Werror build =="
+echo "== [3/8] -Werror build =="
 cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 
-echo "== [4/7] ASan/UBSan =="
+echo "== [4/8] ASan/UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 if [[ "$FULL" == 1 ]]; then
@@ -55,7 +59,7 @@ else
     ./build-asan/tests/flow_test
 fi
 
-echo "== [5/7] ThreadSanitizer =="
+echo "== [5/8] ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 if [[ "$FULL" == 1 ]]; then
     cmake --build --preset tsan -j "$JOBS"
@@ -69,7 +73,7 @@ else
     ./build-tsan/tests/parallel_determinism_test
 fi
 
-echo "== [6/7] observability exports =="
+echo "== [6/8] observability exports =="
 cmake --build --preset dev --target streak_cli report_check -j "$JOBS" >/dev/null
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -78,7 +82,7 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --report="$OBS_TMP/report.json" --trace="$OBS_TMP/trace.json" --quiet
 ./build/tools/report_check "$OBS_TMP/report.json" "$OBS_TMP/trace.json"
 
-echo "== [7/7] hot-path kernel bench =="
+echo "== [7/8] hot-path kernel bench =="
 cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 # Counter harness over the shrunk synth suite: before/after runs of the
 # maze-search and simplex kernels must produce identical solutions, and
@@ -87,5 +91,16 @@ cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 # as the reference data point.
 STREAK_BENCH_JSON="$OBS_TMP/bench.json" ./build/bench/micro_kernels --report
 ./build/tools/report_check --bench "$OBS_TMP/bench.json"
+
+echo "== [8/8] static analysis =="
+# Full rule set: the seven lint rules, the determinism pack, and the
+# module layering DAG (tools/analyze/layers.txt), with waiver-rot
+# checking. The SARIF artifact is written even on a clean run so CI
+# always has it to upload.
+cmake --build --preset dev --target streak_analyze -j "$JOBS" >/dev/null
+./build/tools/analyze/streak_analyze \
+    --layers tools/analyze/layers.txt \
+    --sarif build/analyze.sarif \
+    src tools
 
 echo "check.sh: all stages passed"

@@ -12,21 +12,26 @@
 //                      the module-qualified path from src/
 //   float-equality     == / != against a floating literal needs an
 //                      epsilon helper (check::approxEqual) or an explicit
-//                      `// lint-ok: float-eq` marker for exact-zero skips
+//                      waiver marker for exact-zero skips
 //   bare-assert        use STREAK_ASSERT / STREAK_REQUIRE (contextual
 //                      messages) instead of <cassert>
 //   raw-timing         raw std::chrono clock reads outside src/obs and
 //                      src/parallel; time code through obs::Stopwatch /
 //                      spans so all wall time flows into the trace
 //
-// A finding on a line carrying `lint-ok: <rule>` in a comment is
-// suppressed — the marker doubles as in-source documentation of why the
-// construct is deliberate.
+// A finding on a line whose comment carries a `lint-ok` waiver naming the
+// rule is suppressed — the marker doubles as in-source documentation of
+// why the construct is deliberate.
+//
+// The rules run on the shared token-level lexer from tools/analyze, so
+// — unlike the original line-regex pass — they can never fire on text
+// inside string literals or comments. streak_analyze runs this same rule
+// set (plus the determinism pack and layering) with waiver-rot checking;
+// this binary stays the minimal fast tier-1 gate.
 //
 // Usage: streak_lint <source-dir>...   (exits non-zero on findings)
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -34,256 +39,20 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyzer.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding {
-    fs::path file;
-    int line = 0;
-    std::string rule;
-    std::string message;
-};
-
-bool isWordChar(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+bool readFile(const fs::path& p, std::string* out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = std::move(ss).str();
+    return true;
 }
-
-/// True if `word` occurs in `line` as a standalone token.
-bool hasWord(const std::string& line, const std::string& word,
-             size_t* pos = nullptr) {
-    size_t from = 0;
-    while ((from = line.find(word, from)) != std::string::npos) {
-        const bool leftOk = from == 0 || !isWordChar(line[from - 1]);
-        const size_t end = from + word.size();
-        const bool rightOk = end >= line.size() || !isWordChar(line[end]);
-        if (leftOk && rightOk) {
-            if (pos != nullptr) *pos = from;
-            return true;
-        }
-        from = end;
-    }
-    return false;
-}
-
-/// Replace comments and string/char literal contents with spaces so the
-/// rules never fire on prose; preserves line structure and columns.
-std::vector<std::string> stripCode(const std::vector<std::string>& lines) {
-    std::vector<std::string> out;
-    out.reserve(lines.size());
-    bool inBlockComment = false;
-    for (const std::string& raw : lines) {
-        std::string s = raw;
-        for (size_t i = 0; i < s.size();) {
-            if (inBlockComment) {
-                if (s.compare(i, 2, "*/") == 0) {
-                    s[i] = s[i + 1] = ' ';
-                    i += 2;
-                    inBlockComment = false;
-                } else {
-                    s[i++] = ' ';
-                }
-                continue;
-            }
-            if (s.compare(i, 2, "//") == 0) {
-                for (size_t k = i; k < s.size(); ++k) s[k] = ' ';
-                break;
-            }
-            if (s.compare(i, 2, "/*") == 0) {
-                s[i] = s[i + 1] = ' ';
-                i += 2;
-                inBlockComment = true;
-                continue;
-            }
-            if (s[i] == '"' || s[i] == '\'') {
-                const char quote = s[i];
-                ++i;
-                while (i < s.size()) {
-                    if (s[i] == '\\' && i + 1 < s.size()) {
-                        s[i] = s[i + 1] = ' ';
-                        i += 2;
-                        continue;
-                    }
-                    if (s[i] == quote) {
-                        ++i;
-                        break;
-                    }
-                    s[i++] = ' ';
-                }
-                continue;
-            }
-            ++i;
-        }
-        out.push_back(std::move(s));
-    }
-    return out;
-}
-
-bool isFloatLiteralAt(const std::string& s, size_t pos, bool forward) {
-    // forward: literal starts at/after pos; backward: literal ends at pos.
-    if (forward) {
-        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '-' || s[pos] == '+')) ++pos;
-        size_t digits = pos;
-        while (digits < s.size() &&
-               std::isdigit(static_cast<unsigned char>(s[digits])) != 0) {
-            ++digits;
-        }
-        return digits < s.size() && digits > pos && s[digits] == '.';
-    }
-    size_t p = pos;
-    while (p > 0 && s[p - 1] == ' ') --p;
-    // Accept "...<digits>" preceded by '.' (e.g. 1.0, .5, 12.) or f suffix.
-    size_t digits = p;
-    while (digits > 0 &&
-           (std::isdigit(static_cast<unsigned char>(s[digits - 1])) != 0 ||
-            s[digits - 1] == 'f')) {
-        --digits;
-    }
-    return digits > 0 && digits < p && s[digits - 1] == '.';
-}
-
-class Linter {
-public:
-    void lintFile(const fs::path& path) {
-        std::ifstream in(path);
-        if (!in) {
-            add(path, 0, "io", "could not open file");
-            return;
-        }
-        std::vector<std::string> raw;
-        for (std::string line; std::getline(in, line);) {
-            raw.push_back(std::move(line));
-        }
-        const std::vector<std::string> code = stripCode(raw);
-        const bool isHeader = path.extension() == ".hpp";
-        // The observability layer implements the sanctioned clocks and
-        // the thread pool's per-task timing feeds RegionStats; everyone
-        // else must go through obs::Stopwatch / spans.
-        const std::string pathStr = path.generic_string();
-        const bool timingExempt =
-            pathStr.find("/obs/") != std::string::npos ||
-            pathStr.find("/parallel/") != std::string::npos;
-
-        if (isHeader) {
-            const bool hasPragma =
-                std::any_of(raw.begin(), raw.end(), [](const std::string& l) {
-                    return l.find("#pragma once") != std::string::npos;
-                });
-            if (!hasPragma) {
-                add(path, 1, "pragma-once", "header is missing #pragma once");
-            }
-        }
-
-        for (size_t i = 0; i < code.size(); ++i) {
-            const std::string& line = code[i];
-            const int no = static_cast<int>(i) + 1;
-            const auto suppressed = [&](const char* rule) {
-                return raw[i].find(std::string("lint-ok: ") + rule) !=
-                       std::string::npos;
-            };
-
-            for (const char* banned : {"printf", "fprintf", "sprintf",
-                                       "snprintf", "srand"}) {
-                if (hasWord(line, banned) && !suppressed("banned-function")) {
-                    add(path, no, "banned-function",
-                        std::string(banned) + " is banned in library code");
-                }
-            }
-            if (line.find("std::rand") != std::string::npos &&
-                !suppressed("banned-function")) {
-                add(path, no, "banned-function",
-                    "std::rand is banned (non-deterministic seeding, "
-                    "poor distribution)");
-            }
-
-            size_t pos = 0;
-            if (hasWord(line, "new", &pos) && !suppressed("raw-new-delete")) {
-                add(path, no, "raw-new-delete",
-                    "raw new is banned; use containers or smart pointers");
-            }
-            if (hasWord(line, "delete", &pos) &&
-                !suppressed("raw-new-delete")) {
-                // `= delete` (deleted member functions) is language syntax.
-                size_t before = pos;
-                while (before > 0 && line[before - 1] == ' ') --before;
-                if (before == 0 || line[before - 1] != '=') {
-                    add(path, no, "raw-new-delete",
-                        "raw delete is banned; use containers or smart "
-                        "pointers");
-                }
-            }
-
-            // Include paths are string literals, which stripCode blanks
-            // out — confirm the directive on the stripped line (so
-            // comments don't count), then read the path from the raw one.
-            const size_t inc = line.find("#include \"") != std::string::npos
-                                   ? raw[i].find("#include \"")
-                                   : std::string::npos;
-            if (inc != std::string::npos) {
-                const std::string rest = raw[i].substr(inc + 10);
-                if (rest.rfind("../", 0) == 0 || rest.rfind("./", 0) == 0) {
-                    add(path, no, "relative-include",
-                        "relative include bypasses module boundaries; use "
-                        "the module-qualified path");
-                }
-            }
-
-            for (size_t op = 0; op + 1 < line.size(); ++op) {
-                if ((line[op] != '=' && line[op] != '!') ||
-                    line[op + 1] != '=') {
-                    continue;
-                }
-                if (op > 0 && (line[op - 1] == '=' || line[op - 1] == '!' ||
-                               line[op - 1] == '<' || line[op - 1] == '>')) {
-                    continue;  // ===? no; skips <=, >=, != handled above
-                }
-                if (op + 2 < line.size() && line[op + 2] == '=') continue;
-                const bool floatRhs = isFloatLiteralAt(line, op + 2, true);
-                const bool floatLhs = op > 0 && isFloatLiteralAt(line, op, false);
-                if ((floatRhs || floatLhs) && !suppressed("float-eq")) {
-                    add(path, no, "float-equality",
-                        "== / != against a float literal; use "
-                        "check::approxEqual or mark `lint-ok: float-eq`");
-                    break;
-                }
-            }
-
-            if ((hasWord(line, "assert") ||
-                 line.find("<cassert>") != std::string::npos) &&
-                !suppressed("bare-assert")) {
-                add(path, no, "bare-assert",
-                    "bare assert() reports no context; use STREAK_ASSERT / "
-                    "STREAK_REQUIRE / STREAK_INVARIANT");
-            }
-
-            if (!timingExempt && !suppressed("raw-timing")) {
-                for (const char* clock :
-                     {"steady_clock", "high_resolution_clock",
-                      "system_clock"}) {
-                    if (hasWord(line, clock)) {
-                        add(path, no, "raw-timing",
-                            std::string(clock) +
-                                " outside src/obs and src/parallel; time "
-                                "through obs::Stopwatch or spans");
-                        break;
-                    }
-                }
-            }
-        }
-    }
-
-    [[nodiscard]] const std::vector<Finding>& findings() const {
-        return findings_;
-    }
-
-private:
-    void add(const fs::path& file, int line, std::string rule,
-             std::string message) {
-        findings_.push_back({file, line, std::move(rule), std::move(message)});
-    }
-
-    std::vector<Finding> findings_;
-};
 
 }  // namespace
 
@@ -292,7 +61,7 @@ int main(int argc, char** argv) {
         std::cerr << "usage: streak_lint <source-dir>...\n";
         return 2;
     }
-    std::vector<fs::path> files;
+    std::vector<fs::path> paths;
     for (int a = 1; a < argc; ++a) {
         const fs::path root(argv[a]);
         if (!fs::exists(root)) {
@@ -303,22 +72,42 @@ int main(int argc, char** argv) {
             if (!entry.is_regular_file()) continue;
             const fs::path& p = entry.path();
             if (p.extension() == ".hpp" || p.extension() == ".cpp") {
-                files.push_back(p);
+                paths.push_back(p);
             }
         }
     }
-    std::sort(files.begin(), files.end());
+    std::sort(paths.begin(), paths.end());
 
-    Linter linter;
-    for (const fs::path& f : files) linter.lintFile(f);
-
-    for (const Finding& f : linter.findings()) {
-        std::cerr << f.file.string() << ":" << f.line << ": [" << f.rule
-                  << "] " << f.message << "\n";
+    std::vector<streak::analyze::SourceFile> files;
+    files.reserve(paths.size());
+    std::vector<streak::analyze::Finding> findings;
+    for (const fs::path& p : paths) {
+        std::string text;
+        if (!readFile(p, &text)) {
+            findings.push_back({p.generic_string(), 0, "io",
+                                "could not open file"});
+            continue;
+        }
+        files.push_back({p.generic_string(), streak::analyze::lex(text)});
     }
-    if (!linter.findings().empty()) {
-        std::cerr << "streak_lint: " << linter.findings().size()
-                  << " finding(s) in " << files.size() << " files\n";
+
+    // Legacy tier: the seven ported rules with waivers honoured but no
+    // waiver-rot check — streak_analyze owns the stricter policy.
+    streak::analyze::AnalyzerOptions opts;
+    opts.determinismRules = false;
+    opts.layering = false;
+    opts.unusedSuppressions = false;
+    const std::vector<streak::analyze::Finding> ruleFindings =
+        streak::analyze::analyze(files, nullptr, opts);
+    findings.insert(findings.end(), ruleFindings.begin(), ruleFindings.end());
+
+    for (const streak::analyze::Finding& f : findings) {
+        std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+    }
+    if (!findings.empty()) {
+        std::cerr << "streak_lint: " << findings.size() << " finding(s) in "
+                  << files.size() << " files\n";
         return 1;
     }
     std::cout << "streak_lint: " << files.size() << " files clean\n";
