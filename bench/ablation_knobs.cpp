@@ -20,7 +20,7 @@ int main() {
         for (const int k : {1, 2, 4, 8}) {
             StreakOptions opts = bench::baseOptions();
             opts.backbone.maxBackbones = k;
-            const StreakResult r = runStreak(d, opts);
+            const StreakResult r = runStreak(d, opts).value();
             long cands = 0;
             for (const auto& c : r.problem.candidates) {
                 cands += static_cast<long>(c.size());
@@ -41,7 +41,7 @@ int main() {
         for (const double w : {0.0, 10.0, 50.0, 200.0}) {
             StreakOptions opts = bench::baseOptions();
             opts.irregularityWeight = w;
-            const StreakResult r = runStreak(d, opts);
+            const StreakResult r = runStreak(d, opts).value();
             t.addRow({io::Table::fixed(w, 0),
                       io::Table::percent(r.metrics.routability),
                       std::to_string(r.metrics.wirelength),
@@ -60,7 +60,7 @@ int main() {
             const Design dv = gen::generate(spec);
             StreakOptions opts = bench::baseOptions();
             opts.postOptimize = true;
-            const StreakResult r = runStreak(dv, opts);
+            const StreakResult r = runStreak(dv, opts).value();
             t.addRow({cap < 0 ? "unlimited" : std::to_string(cap),
                       io::Table::percent(r.metrics.routability),
                       std::to_string(r.metrics.wirelength),

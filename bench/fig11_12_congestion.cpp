@@ -56,7 +56,7 @@ void runSuite(int index, const char* figure) {
     StreakOptions opts = bench::baseOptions();
     opts.solver = SolverKind::PrimalDual;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     show("Streak (primal-dual + post)", r.routed.usage);
     std::cout << "Streak routability: "
               << io::Table::percent(r.metrics.routability) << "\n\n";

@@ -24,11 +24,11 @@ void runSeries(bool multipin, const char* title) {
         const Design d = gen::generate(spec);
         StreakOptions opts = bench::baseOptions();
         opts.solver = SolverKind::Ilp;
-        const StreakResult ilp = runStreak(d, opts);
+        const StreakResult ilp = runStreak(d, opts).value();
         opts.solver = SolverKind::IlpHierarchical;
-        const StreakResult hilp = runStreak(d, opts);
+        const StreakResult hilp = runStreak(d, opts).value();
         opts.solver = SolverKind::PrimalDual;
-        const StreakResult pd = runStreak(d, opts);
+        const StreakResult pd = runStreak(d, opts).value();
         table.addRow({spec.name, std::to_string(d.totalPins()),
                       std::to_string(d.numNets()),
                       bench::cpuCell(ilp.solveSeconds(), ilp.hitTimeLimit),

@@ -21,9 +21,9 @@ int main() {
         opts.refinementEnabled = true;
 
         opts.clusteringEnabled = false;
-        const StreakResult off = runStreak(d, opts);
+        const StreakResult off = runStreak(d, opts).value();
         opts.clusteringEnabled = true;
-        const StreakResult on = runStreak(d, opts);
+        const StreakResult on = runStreak(d, opts).value();
 
         table.addRow(
             {d.name, io::Table::percent(off.metrics.routability),

@@ -21,9 +21,9 @@ int main() {
         opts.clusteringEnabled = true;
 
         opts.refinementEnabled = false;
-        const StreakResult off = runStreak(d, opts);
+        const StreakResult off = runStreak(d, opts).value();
         opts.refinementEnabled = true;
-        const StreakResult on = runStreak(d, opts);
+        const StreakResult on = runStreak(d, opts).value();
 
         const double dwl =
             off.metrics.wirelength == 0

@@ -330,7 +330,7 @@ IlpRun runIlpFlow(const Design& design, ilp::LpEngine engine, bool warm) {
     opts.lpEngine = engine;
     opts.lpWarmStart = warm;
     opts.observer = bench::observeNothing;  // turn on per-run counters
-    run.result = runStreak(design, opts);
+    run.result = runStreak(design, opts).value();
     run.solveSeconds = run.result.solveSeconds();
     return run;
 }

@@ -29,7 +29,7 @@ void runSweep(SolverKind solver, const char* title) {
         StreakOptions opts = bench::baseOptions();
         opts.solver = solver;
         opts.threads = threads;
-        const StreakResult r = runStreak(d, opts);
+        const StreakResult r = runStreak(d, opts).value();
 
         const double total =
             r.buildSeconds() + r.solveSeconds() + r.distanceSeconds() + r.postSeconds();

@@ -31,9 +31,9 @@ int main() {
         StreakOptions opts = bench::baseOptions();
         opts.observer = bench::observeNothing;  // collect counters
         opts.solver = SolverKind::Ilp;
-        const StreakResult ilp = runStreak(d, opts);
+        const StreakResult ilp = runStreak(d, opts).value();
         opts.solver = SolverKind::PrimalDual;
-        const StreakResult pd = runStreak(d, opts);
+        const StreakResult pd = runStreak(d, opts).value();
         log.add(d, "ilp", ilp);
         log.add(d, "pd", pd);
 

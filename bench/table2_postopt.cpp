@@ -31,7 +31,7 @@ void runSide(const streak::Design& d, streak::SolverKind solver,
     opts.solver = solver;
     opts.postOptimize = true;
     opts.observer = bench::observeNothing;  // collect counters
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     log->add(d, solver == SolverKind::Ilp ? "ilp+post" : "pd+post", r);
     table->addRow({d.name,
                    std::to_string(r.distanceViolationsBefore),

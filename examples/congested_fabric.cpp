@@ -39,9 +39,9 @@ int main() {
     opts.solver = SolverKind::PrimalDual;
 
     opts.postOptimize = false;
-    const StreakResult plain = runStreak(design, opts);
+    const StreakResult plain = runStreak(design, opts).value();
     opts.postOptimize = true;
-    const StreakResult post = runStreak(design, opts);
+    const StreakResult post = runStreak(design, opts).value();
 
     io::Table table({"flow", "routed bits", "routability", "wire-length",
                      "Avg(Reg)", "Vio(dst)"});

@@ -67,7 +67,7 @@ int main() {
     // Streak: synergistic topology selection + post optimization.
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(design, opts);
+    const StreakResult r = runStreak(design, opts).value();
 
     io::Table table({"router", "routed", "wire-length", "Avg(Reg)"});
     table.addRow({"sequential baseline",

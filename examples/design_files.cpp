@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(loaded, opts);
+    const StreakResult r = runStreak(loaded, opts).value();
     std::cout << "routability " << r.metrics.routability * 100.0
               << "%, wire-length " << r.metrics.wirelength << "\n";
 

@@ -40,7 +40,7 @@ int main() {
     StreakOptions opts;
     opts.solver = SolverKind::PrimalDual;
     opts.postOptimize = true;
-    const StreakResult result = runStreak(design, opts);
+    const StreakResult result = runStreak(design, opts).value();
 
     std::cout << "routed " << result.metrics.routedBits << "/"
               << result.metrics.totalBits << " bits, wire-length "

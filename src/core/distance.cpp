@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/similarity.hpp"
+#include "robust/fault.hpp"
 
 namespace streak {
 
@@ -129,7 +130,9 @@ std::vector<GroupDistanceReport> analyzeDistances(
     const RoutingProblem& prob, const RoutedDesign& routed,
     double thresholdFraction, const std::vector<int>* fixedThresholds,
     parallel::RegionStats* parallelStats) {
+    STREAK_FAULT_POINT("distance/analyze");
     parallel::ThreadPool pool(parallel::resolveThreads(prob.opts.threads));
+    pool.setControl(prob.opts.control);
 
     const std::vector<std::vector<FamilyMember>> allFamilies =
         buildSinkFamiliesWith(prob, routed, pool);

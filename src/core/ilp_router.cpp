@@ -10,6 +10,7 @@
 #include "ilp/model.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace streak {
 
@@ -222,6 +223,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
         // Worker-side span: nests under the owning region's span through
         // the thread pool's TaskContext, one per independent component.
         STREAK_SPAN("ilp/component");
+        STREAK_FAULT_POINT("ilp/solve");
         const int root = components[static_cast<size_t>(comp)].first;
         const std::vector<int>& objs =
             components[static_cast<size_t>(comp)].second;
@@ -317,6 +319,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
         bopts.timeLimitSeconds = budget[static_cast<size_t>(comp)];
         bopts.lpEngine = prob.opts.lpEngine;
         bopts.lpWarmStart = prob.opts.lpWarmStart;
+        bopts.control = prob.opts.control;
         if (warmStart != nullptr) {
             bopts.initialUpperBound =
                 componentObjective(prob, objs, warmStart->chosen);
@@ -345,6 +348,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
     // Components solve in parallel; outcomes merge in the (deterministic)
     // sorted component order, each touching a disjoint slice of `chosen`.
     parallel::ThreadPool pool(parallel::resolveThreads(prob.opts.threads));
+    pool.setControl(prob.opts.control);
     pool.orderedReduce<ComponentOutcome>(
         static_cast<int>(components.size()), solveComponent,
         [&](int /*comp*/, ComponentOutcome&& outcome) {

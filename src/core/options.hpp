@@ -3,11 +3,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "core/backbone.hpp"
 #include "ilp/lp.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/control.hpp"
+#include "robust/recovery.hpp"
 
 namespace streak {
 
@@ -77,6 +80,25 @@ struct StreakOptions {
     double distanceThresholdFraction = 0.5;
     /// Maximum shift distance explored when twisting detours (Alg. 4).
     int maxDetourShift = 12;
+
+    // --- robustness (DESIGN.md "Robustness") ---
+    /// Wall-clock budget for the whole run; <= 0 disables the deadline.
+    /// When it expires, the active stage unwinds at its next tick point
+    /// and the flow degrades per `recovery` (or returns a structured
+    /// DeadlineExpired error when no fallback exists). A run that never
+    /// hits the deadline is byte-identical to an unbudgeted one.
+    double deadlineSeconds = 0.0;
+    /// Optional external cancellation: share this token with whatever
+    /// owns the run and call requestCancel() to unwind at the next tick.
+    /// Cancellation is never absorbed by the degradation ladder.
+    std::shared_ptr<robust::CancelToken> cancel;
+    /// Per-stage fallback switches for the degradation ladder.
+    robust::RecoveryPolicy recovery;
+    /// Internal: armed by runStreak() from deadlineSeconds + cancel and
+    /// carried down to every hot loop via the options copies the stages
+    /// already receive. Leave default-constructed (idle) when calling
+    /// stages directly.
+    robust::Ticket control;
 
     // --- observability (DESIGN.md "Observability") ---
     /// Called once at the end of runStreak with the run's span tree and

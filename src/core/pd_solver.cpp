@@ -7,6 +7,7 @@
 #include "grid/routing_grid.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace streak {
 
@@ -35,6 +36,10 @@ public:
             }
         }
         for (;;) {
+            // Tick point: one poll per committed object (each iteration
+            // sweeps every alive candidate).
+            prob_.opts.control.checkpoint("pd/iteration");
+            STREAK_FAULT_POINT("pd/iteration");
             // Line 5-6: pick the undecided object / candidate with the
             // minimum c(i, j) + c'(i, j) among currently feasible ones.
             int bestObj = -1;

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/regularity.hpp"
+#include "robust/fault.hpp"
 
 namespace streak {
 
@@ -91,11 +92,13 @@ RoutingProblem buildProblem(const Design& design, const StreakOptions& opts,
     }
 
     parallel::ThreadPool pool(parallel::resolveThreads(opts.threads));
+    pool.setControl(opts.control);
 
     // Per-object 3-D candidate expansion: independent across objects,
     // collected by object index.
     prob.candidates = pool.parallelMap<std::vector<RouteCandidate>>(
         static_cast<int>(prob.objects.size()), [&](int i) {
+            STREAK_FAULT_POINT("build/candidates");
             return generateCandidates(
                 design, prob.objects[static_cast<size_t>(i)], opts);
         });
@@ -107,6 +110,7 @@ RoutingProblem buildProblem(const Design& design, const StreakOptions& opts,
     pool.orderedReduce<std::vector<PairBlock>>(
         static_cast<int>(prob.groupObjects.size()),
         [&](int g) {
+            STREAK_FAULT_POINT("build/pairs");
             return buildGroupPairBlocks(
                 prob, prob.groupObjects[static_cast<size_t>(g)], opts);
         },

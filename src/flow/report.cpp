@@ -62,6 +62,23 @@ Value metricsSection(const Metrics& m) {
     return o;
 }
 
+Value robustSection(const StreakOptions& opts, const StreakResult& result) {
+    Object o;
+    o.set("deadlineSeconds", opts.deadlineSeconds);
+    o.set("degraded", result.degraded());
+    Array rungs;
+    for (const robust::Degradation& d : result.degradations) {
+        Object rung;
+        rung.set("stage", d.stage);
+        rung.set("site", d.site);
+        rung.set("rung", d.rung);
+        rung.set("message", d.message);
+        rungs.push_back(Value(std::move(rung)));
+    }
+    o.set("degradations", std::move(rungs));
+    return o;
+}
+
 Value countersSection(const obs::Snapshot& snap) {
     Object o;
     for (const auto& [name, value] : snap.counters) o.set(name, value);
@@ -146,6 +163,7 @@ Value buildRunReport(const Design& design, const StreakOptions& opts,
     solver.set("ilpNodes", result.ilpNodes);
     solver.set("hitTimeLimit", result.hitTimeLimit);
     report.set("solver", std::move(solver));
+    report.set("robust", robustSection(opts, result));
     report.set("counters", countersSection(result.counters));
     report.set("histograms", histogramsSection(result.counters));
     report.set("spans", spansSection(result.trace));

@@ -1,5 +1,9 @@
 #include "flow/streak.hpp"
 
+#include <memory>
+#include <string>
+#include <utility>
+
 #include "check/audit.hpp"
 #include "core/hier_ilp.hpp"
 #include "core/ilp_router.hpp"
@@ -8,6 +12,8 @@
 #include "obs/trace.hpp"
 #include "post/clustering.hpp"
 #include "post/refine.hpp"
+#include "robust/control.hpp"
+#include "robust/error.hpp"
 
 namespace streak {
 
@@ -59,6 +65,49 @@ private:
     bool previous_;
 };
 
+/// True when the degradation ladder may absorb this error (cancellation
+/// always unwinds the whole run).
+bool ladderMayAbsorb(const robust::StreakError& err,
+                     const robust::RecoveryPolicy& policy) {
+    return policy.enabled && err.recoverable &&
+           err.kind != robust::ErrorKind::Cancelled;
+}
+
+/// Record one ladder rung: a `robust/degraded.<rung>` counter (always,
+/// not detail-gated — degradations are rare and the run report must
+/// show them), a zero-length span event, and a Degradation entry.
+void recordDegradation(StreakResult* result, const char* stage,
+                       const char* rung, const robust::StreakError& cause) {
+    obs::counter(std::string("robust/degraded.") + rung).add(1);
+    const obs::SpanScope event(std::string("robust/degraded/") + rung);
+    robust::Degradation d;
+    d.stage = stage;
+    d.site = cause.site;
+    d.rung = rung;
+    d.message = cause.describe();
+    result->degradations.push_back(std::move(d));
+}
+
+/// Run one stage body. Everything escaping a stage boundary becomes a
+/// StreakException: native ones get the stage name annotated, foreign
+/// exceptions (contract failures under a throwing handler, stray
+/// std::runtime_error) are wrapped as non-recoverable Internal errors.
+template <typename Fn>
+void runStage(const char* stageName, Fn&& body) {
+    try {
+        body();
+    } catch (robust::StreakException& e) {
+        e.noteStage(stageName);
+        throw;
+    } catch (const std::exception& e) {
+        robust::StreakError err;
+        err.kind = robust::ErrorKind::Internal;
+        err.stage = stageName;
+        err.message = e.what();
+        throw robust::StreakException(std::move(err));
+    }
+}
+
 }  // namespace
 
 parallel::RegionStats StreakResult::stageParallel(
@@ -72,7 +121,13 @@ parallel::RegionStats StreakResult::stageParallel(
     return stats;
 }
 
-StreakResult runStreak(const Design& design, const StreakOptions& opts) {
+namespace {
+
+/// The flow body proper, with the degradation ladder at every stage
+/// boundary. `opts.control` is already armed by runStreak(). Throws
+/// only StreakException (via runStage), never anything else.
+StreakResult runStreakGuarded(const Design& design,
+                              const StreakOptions& opts) {
     StreakResult result(design.grid);
     result.threadsUsed = parallel::resolveThreads(opts.threads);
 
@@ -84,15 +139,27 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
     const obs::Snapshot countersBefore = obs::snapshotMetrics();
     obs::SpanScope runSpan(stage::kRun);
 
-    {
+    // Once the run-wide deadline has been absorbed by a rung, later
+    // optional stages are skipped outright instead of being started
+    // only to trip at their first tick.
+    bool deadlineSpent = false;
+    const auto absorbedDeadline = [&](const robust::StreakError& err) {
+        if (err.kind == robust::ErrorKind::DeadlineExpired) {
+            deadlineSpent = true;
+        }
+    };
+
+    // Build has no cheaper engine to fall back to: failures (including
+    // deadline expiry before any solution exists) surface as errors.
+    runStage(stage::kBuild, [&] {
         obs::SpanScope span(stage::kBuild);
         parallel::RegionStats stats;
         result.problem = buildProblem(design, opts, &stats);
         annotateStage(&span, stats);
-    }
-    STREAK_DEEP_AUDIT(check::auditProblem(result.problem));
+        STREAK_DEEP_AUDIT(check::auditProblem(result.problem));
+    });
 
-    {
+    runStage(stage::kSolve, [&] {
         obs::SpanScope span(stage::kSolve);
         parallel::RegionStats stats;
         if (opts.solver == SolverKind::Ilp ||
@@ -100,83 +167,174 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
             // Warm-start the ILP from the (cheap) primal-dual solution —
             // the analogue of handing a commercial solver a MIP start; at
             // the time limit each unfinished component keeps that start.
-            const PdResult warm = solvePrimalDual(result.problem);
-            IlpRouteResult ilp =
-                opts.solver == SolverKind::Ilp
-                    ? solveIlpRouting(result.problem,
-                                      opts.ilpTimeLimitSeconds,
-                                      &warm.solution)
-                    : solveIlpHierarchical(result.problem,
-                                           opts.ilpTimeLimitSeconds,
-                                           &warm.solution);
-            result.solverSolution = std::move(ilp.solution);
-            result.ilpNodes = ilp.nodesExplored;
-            result.hitTimeLimit = ilp.hitTimeLimit;
-            stats.merge(ilp.parallelStats);
+            RoutingSolution warmSolution;
+            int warmIterations = 0;
+            bool haveWarm = false;
+            try {
+                PdResult warm = solvePrimalDual(result.problem);
+                warmSolution = std::move(warm.solution);
+                warmIterations = warm.iterations;
+                haveWarm = true;
+            } catch (const robust::StreakException& e) {
+                // Rung: continue the ILP cold. Only for injected faults —
+                // a deadline that already killed the cheap solver leaves
+                // nothing for the expensive one either.
+                if (e.error().kind != robust::ErrorKind::FaultInjected ||
+                    !ladderMayAbsorb(e.error(), opts.recovery) ||
+                    !opts.recovery.warmStartOptional) {
+                    throw;
+                }
+                recordDegradation(&result, stage::kSolve, "solve.cold_start",
+                                  e.error());
+            }
+            try {
+                const RoutingSolution* warmPtr =
+                    haveWarm ? &warmSolution : nullptr;
+                IlpRouteResult ilp =
+                    opts.solver == SolverKind::Ilp
+                        ? solveIlpRouting(result.problem,
+                                          opts.ilpTimeLimitSeconds, warmPtr)
+                        : solveIlpHierarchical(result.problem,
+                                               opts.ilpTimeLimitSeconds,
+                                               warmPtr);
+                result.solverSolution = std::move(ilp.solution);
+                result.ilpNodes = ilp.nodesExplored;
+                result.hitTimeLimit = ilp.hitTimeLimit;
+                stats.merge(ilp.parallelStats);
+            } catch (const robust::StreakException& e) {
+                // Rung: the formal "ILP timeout -> PD result" fallback,
+                // now also covering deadline expiry and injected faults.
+                if (!haveWarm || !ladderMayAbsorb(e.error(), opts.recovery) ||
+                    !opts.recovery.ilpFallbackToPd) {
+                    throw;
+                }
+                recordDegradation(&result, stage::kSolve, "solve.ilp_to_pd",
+                                  e.error());
+                absorbedDeadline(e.error());
+                result.solverSolution = std::move(warmSolution);
+                result.pdIterations = warmIterations;
+                result.hitTimeLimit = true;
+            }
         } else {
+            // The primal-dual solver is the bottom of the ladder; its
+            // failures are the run's failures.
             PdResult pd = solvePrimalDual(result.problem);
             result.solverSolution = std::move(pd.solution);
             result.pdIterations = pd.iterations;
         }
         annotateStage(&span, stats);
-    }
-    STREAK_DEEP_AUDIT(
-        check::auditSolution(result.problem, result.solverSolution));
+        STREAK_DEEP_AUDIT(
+            check::auditSolution(result.problem, result.solverSolution));
 
-    result.routed = materialize(result.problem, result.solverSolution);
-    STREAK_DEEP_AUDIT(check::auditRoutedDesign(result.problem, result.routed));
+        result.routed = materialize(result.problem, result.solverSolution);
+        STREAK_DEEP_AUDIT(
+            check::auditRoutedDesign(result.problem, result.routed));
+    });
 
     // The baseline distance analysis always runs (it feeds the reported
     // Vio(dst) numbers) and is timed on its own: counting it into the
     // post stage used to inflate the post timing that benches report
     // even when postOptimize was off.
     std::vector<GroupDistanceReport> before;
-    {
+    runStage(stage::kDistance, [&] {
         obs::SpanScope span(stage::kDistance);
         parallel::RegionStats stats;
-        before = analyzeDistances(result.problem, result.routed,
-                                  opts.distanceThresholdFraction, nullptr,
-                                  &stats);
-        result.distanceViolationsBefore = countViolatingGroups(before);
-        result.distanceViolationsAfter = result.distanceViolationsBefore;
+        const auto skipRung = [&](const robust::StreakError& cause) {
+            if (!opts.recovery.enabled ||
+                !opts.recovery.distanceSkipOnFailure) {
+                robust::raise(cause);
+            }
+            recordDegradation(&result, stage::kDistance, "distance.skipped",
+                              cause);
+            before.clear();
+            result.distanceViolationsBefore = 0;
+            result.distanceViolationsAfter = 0;
+        };
+        if (deadlineSpent) {
+            skipRung(robust::Ticket::tripError(robust::Trip::DeadlineExpired,
+                                               "distance/analyze"));
+            return;
+        }
+        try {
+            before = analyzeDistances(result.problem, result.routed,
+                                      opts.distanceThresholdFraction, nullptr,
+                                      &stats);
+            result.distanceViolationsBefore = countViolatingGroups(before);
+            result.distanceViolationsAfter = result.distanceViolationsBefore;
+        } catch (const robust::StreakException& e) {
+            // Rung: the analysis is diagnostic — skip it rather than
+            // fail a run that already has a routed solution.
+            if (!ladderMayAbsorb(e.error(), opts.recovery)) throw;
+            absorbedDeadline(e.error());
+            skipRung(e.error());
+        }
         annotateStage(&span, stats);
-    }
+    });
 
-    {
+    runStage(stage::kPost, [&] {
         obs::SpanScope span(stage::kPost);
         parallel::RegionStats stats;
-        if (opts.postOptimize) {
-            if (opts.clusteringEnabled) {
-                post::clusterAndRoute(result.problem, &result.routed);
-                STREAK_DEEP_AUDIT(
-                    check::auditRoutedDesign(result.problem, result.routed));
-            }
-            if (opts.refinementEnabled) {
-                const post::RefinementResult ref =
-                    post::refineDistances(result.problem, &result.routed);
-                result.distanceViolationsAfter = ref.violatingGroupsAfter;
-                stats.merge(ref.parallelStats);
-            } else {
-                // Clustering may add bits; re-evaluate with the initial
-                // thresholds for a fair "after" number.
-                std::vector<int> thresholds(before.size(), -1);
-                for (const GroupDistanceReport& r : before) {
-                    thresholds[static_cast<size_t>(r.groupIndex)] = r.threshold;
+        if (opts.postOptimize && deadlineSpent) {
+            // Rung: the budget is gone; keep the pre-post solution.
+            recordDegradation(
+                &result, stage::kPost, "post.skipped",
+                robust::Ticket::tripError(robust::Trip::DeadlineExpired,
+                                          "flow/post"));
+        } else if (opts.postOptimize) {
+            // Snapshot for rollback: post optimization mutates `routed`
+            // in place, and a half-applied post pass is worse than none.
+            const RoutedDesign prePost = result.routed;
+            const int prePostViolations = result.distanceViolationsAfter;
+            try {
+                if (opts.clusteringEnabled) {
+                    post::clusterAndRoute(result.problem, &result.routed);
+                    STREAK_DEEP_AUDIT(check::auditRoutedDesign(
+                        result.problem, result.routed));
                 }
-                const auto after = analyzeDistances(
-                    result.problem, result.routed,
-                    opts.distanceThresholdFraction, &thresholds, &stats);
-                result.distanceViolationsAfter = countViolatingGroups(after);
+                if (opts.refinementEnabled) {
+                    const post::RefinementResult ref =
+                        post::refineDistances(result.problem, &result.routed);
+                    result.distanceViolationsAfter = ref.violatingGroupsAfter;
+                    stats.merge(ref.parallelStats);
+                } else {
+                    // Clustering may add bits; re-evaluate with the initial
+                    // thresholds for a fair "after" number.
+                    std::vector<int> thresholds(before.size(), -1);
+                    for (const GroupDistanceReport& r : before) {
+                        thresholds[static_cast<size_t>(r.groupIndex)] =
+                            r.threshold;
+                    }
+                    const auto after = analyzeDistances(
+                        result.problem, result.routed,
+                        opts.distanceThresholdFraction, &thresholds, &stats);
+                    result.distanceViolationsAfter =
+                        countViolatingGroups(after);
+                }
+            } catch (const robust::StreakException& e) {
+                // Rung: restore the last valid solution.
+                if (!ladderMayAbsorb(e.error(), opts.recovery) ||
+                    !opts.recovery.postRollback) {
+                    throw;
+                }
+                recordDegradation(&result, stage::kPost, "post.rolled_back",
+                                  e.error());
+                absorbedDeadline(e.error());
+                result.routed = prePost;
+                result.distanceViolationsAfter = prePostViolations;
             }
         }
         annotateStage(&span, stats);
-    }
-    STREAK_DEEP_AUDIT(check::auditRoutedDesign(result.problem, result.routed));
+        // Degraded or not, the output must audit clean.
+        STREAK_DEEP_AUDIT(
+            check::auditRoutedDesign(result.problem, result.routed));
 
-    result.metrics = evaluate(result.problem, result.routed);
+        result.metrics = evaluate(result.problem, result.routed);
+    });
     if (obs::detailEnabled()) recordEdgeUtilization(result.routed);
 
     runSpan.addArg("threads", result.threadsUsed);
+    runSpan.addArg("degradations",
+                   static_cast<double>(result.degradations.size()));
     tracer.endSpan(runSpan.id());
     result.trace = tracer.snapshot();
     result.counters = obs::snapshotMetrics().minus(countersBefore);
@@ -184,6 +342,33 @@ StreakResult runStreak(const Design& design, const StreakOptions& opts) {
         opts.observer(StreakObservation{result.trace, result.counters});
     }
     return result;
+}
+
+}  // namespace
+
+FlowResult runStreak(const Design& design, const StreakOptions& callerOpts) {
+    StreakOptions opts = callerOpts;
+    // Arm the run-wide ticket; every stage below sees it through the
+    // options copies it already receives (Problem::opts et al.).
+    std::shared_ptr<const robust::Deadline> deadline;
+    if (opts.deadlineSeconds > 0.0) {
+        deadline = std::make_shared<robust::Deadline>(opts.deadlineSeconds);
+    }
+    opts.control = robust::Ticket(deadline, opts.cancel);
+
+    try {
+        return FlowResult(runStreakGuarded(design, opts));
+    } catch (const robust::StreakException& e) {
+        return FlowResult(e.error());
+    } catch (const std::exception& e) {
+        // Belt and braces: runStage should have wrapped everything, but
+        // the rim between stages (snapshots, observer) can still throw.
+        robust::StreakError err;
+        err.kind = robust::ErrorKind::Internal;
+        err.stage = stage::kRun;
+        err.message = e.what();
+        return FlowResult(std::move(err));
+    }
 }
 
 }  // namespace streak

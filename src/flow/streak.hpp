@@ -9,10 +9,21 @@
 //   streak::StreakOptions opts;
 //   opts.solver = streak::SolverKind::PrimalDual;
 //   opts.postOptimize = true;
-//   streak::StreakResult res = streak::runStreak(design, opts);
+//   streak::FlowResult res = streak::runStreak(design, opts);
+//   if (res.ok()) { use(res.value()); } else { log(res.error()); }
 //
 // The caller owns the Design and must keep it alive while using the
 // result (the embedded RoutingProblem refers to it).
+//
+// Fault tolerance (DESIGN.md "Robustness"): runStreak never leaks an
+// exception — every failure comes back as the structured StreakError
+// arm of FlowResult. Recoverable mid-stage failures (deadline share
+// expired, injected faults) are absorbed by a per-stage degradation
+// ladder when StreakOptions::recovery allows: the flow falls back to
+// the cheaper engine or the last valid partial solution, records a
+// `robust/degraded.<rung>` counter plus a span event, and lists the
+// rung in StreakResult::degradations. Degraded output still passes the
+// deep auditors.
 //
 // Timing is span-based (DESIGN.md "Observability"): runStreak records a
 // span tree rooted at "flow/run" with one child per stage; the
@@ -21,6 +32,11 @@
 // truth for where the run's wall time went.
 #pragma once
 
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "check/assert.hpp"
 #include "core/distance.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
@@ -29,6 +45,8 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "robust/error.hpp"
+#include "robust/recovery.hpp"
 
 namespace streak {
 
@@ -56,6 +74,12 @@ struct StreakResult {
     bool hitTimeLimit = false;
     int pdIterations = 0;
     long ilpNodes = 0;
+
+    /// Degradation-ladder rungs taken during the run, in stage order
+    /// (empty for a clean run); also surfaced in the JSON run report's
+    /// "robust" section and as `robust/degraded.*` counters.
+    std::vector<robust::Degradation> degradations;
+    [[nodiscard]] bool degraded() const { return !degradations.empty(); }
 
     /// Worker threads the parallel stages ran with (resolved, >= 1).
     int threadsUsed = 1;
@@ -114,7 +138,46 @@ struct StreakResult {
     explicit StreakResult(const grid::RoutingGrid& grid) : routed(grid) {}
 };
 
-[[nodiscard]] StreakResult runStreak(const Design& design,
-                                     const StreakOptions& opts);
+/// Result-or-error of one flow run. Successful runs (possibly degraded;
+/// see StreakResult::degradations) carry a StreakResult; failed runs a
+/// structured StreakError. Accessing the wrong arm is a contract
+/// violation (STREAK_REQUIRE), never undefined behavior.
+class FlowResult {
+public:
+    /*implicit*/ FlowResult(StreakResult&& result)
+        : result_(std::move(result)) {}
+    explicit FlowResult(robust::StreakError error)
+        : error_(std::move(error)) {}
+
+    [[nodiscard]] bool ok() const { return result_.has_value(); }
+
+    [[nodiscard]] const robust::StreakError& error() const {
+        STREAK_REQUIRE(!ok(), "error() called on a successful run");
+        return error_;
+    }
+
+    [[nodiscard]] const StreakResult& value() const& {
+        STREAK_REQUIRE(ok(), "value() called on a failed run: {}",
+                       error_.describe());
+        return *result_;
+    }
+    /// rvalue overload returns by value so `auto r = runStreak(...).value()`
+    /// moves and a reference bound to it never dangles.
+    [[nodiscard]] StreakResult value() && {
+        STREAK_REQUIRE(ok(), "value() called on a failed run: {}",
+                       error_.describe());
+        return *std::move(result_);
+    }
+
+private:
+    std::optional<StreakResult> result_;
+    robust::StreakError error_;
+};
+
+/// Run the whole flow. Never throws: every failure — invalid input,
+/// deadline expiry, cancellation, injected fault, internal error — is
+/// returned as FlowResult's error arm with a distinct ErrorKind.
+[[nodiscard]] FlowResult runStreak(const Design& design,
+                                   const StreakOptions& opts);
 
 }  // namespace streak

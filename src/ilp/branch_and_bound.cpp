@@ -11,6 +11,7 @@
 #include "ilp/lp.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace streak::ilp {
 
@@ -74,6 +75,9 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
     long prunedInfeasible = 0;
 
     while (!open.empty()) {
+        // Tick point: one poll per node (each node pays an LP solve).
+        opts.control.checkpoint("bnb/node");
+        STREAK_FAULT_POINT("bnb/node");
         if (nodes >= opts.maxNodes || timeUp()) {
             limitHit = true;
             bestOpenBound = open.top().bound;
@@ -93,6 +97,7 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
         Solution lp;
         if (useBounded) {
             LpOptions lpOpts;
+            lpOpts.control = opts.control;
             if (opts.lpWarmStart) {
                 lpOpts.warmBasis = node.warm.get();
                 lpOpts.basisOut = finalBasis.get();

@@ -24,6 +24,11 @@ struct BnbOptions {
     /// Re-solve child nodes phase-2-only from the parent's final simplex
     /// basis (Bounded engine only); stale bases cold-solve automatically.
     bool lpWarmStart = true;
+    /// Deadline/cancellation ticket polled once per node (and threaded
+    /// into every LP relaxation solve). Unlike timeLimitSeconds — which
+    /// ends the search with the incumbent — a trip unwinds the solve
+    /// with a structured StreakError.
+    robust::Ticket control;
 };
 
 struct BnbStats {

@@ -8,6 +8,7 @@
 #include "check/assert.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace streak::ilp {
 
@@ -75,6 +76,10 @@ public:
 
     [[nodiscard]] long pivots() const { return pivots_; }
     [[nodiscard]] long boundFlips() const { return boundFlips_; }
+
+    /// Deadline/cancellation ticket polled every few pivots; a trip
+    /// throws out of the pivot loop (LpOptions::control).
+    void setControl(const robust::Ticket& control) { control_ = control; }
 
     /// Cold solve: phase 1 (minimize the artificial sum, pricing *all*
     /// columns — restricting phase-1 pricing could misreport
@@ -248,6 +253,9 @@ private:
         const long maxIter = 20L * (m_ + static_cast<long>(total_)) + 2000;
         for (long iterations = 0;; ++iterations) {
             if (iterations > maxIter) break;  // stall guard
+            // Tick point: a pivot sweeps O(m * total) entries, so a
+            // strided clock poll is invisible next to the work.
+            if ((iterations & 63) == 0) control_.checkpoint("lp/pivot");
             const bool useBland = iterations > maxIter / 2;
 
             // Entering: nonbasic at lower with negative reduced cost, or
@@ -394,6 +402,7 @@ private:
     std::vector<std::uint8_t> inBasis_;
     long pivots_ = 0;
     long boundFlips_ = 0;
+    robust::Ticket control_;  // idle unless LpOptions carried one
 };
 
 /// Shared shift-to-zero-lower-bound preprocessing for the bounded
@@ -673,6 +682,7 @@ private:
 Solution solveLp(const Model& model) { return solveLp(model, LpOptions{}); }
 
 Solution solveLp(const Model& model, const LpOptions& opts) {
+    STREAK_FAULT_POINT("lp/solve");
     LpTally tally;
     tally.solves = 1;
     const PreparedLp p = prepare(model);
@@ -694,6 +704,7 @@ Solution solveLp(const Model& model, const LpOptions& opts) {
 
     if (opts.warmBasis != nullptr && !opts.warmBasis->empty()) {
         BoundedSimplex warm(nStruct, p.m);
+        warm.setControl(opts.control);
         buildBounded(p, &warm);
         SolveStatus st{};
         if (warm.warmSolve(*opts.warmBasis, cost, &x, &obj, &st)) {
@@ -713,6 +724,7 @@ Solution solveLp(const Model& model, const LpOptions& opts) {
 
     if (!solved) {
         BoundedSimplex cold(nStruct, p.m);
+        cold.setControl(opts.control);
         buildBounded(p, &cold);
         sol.status = cold.solve(cost, &x, &obj);
         tally.pivots += cold.pivots();

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ilp/model.hpp"
+#include "robust/control.hpp"
 
 namespace streak::ilp {
 
@@ -55,6 +56,9 @@ struct LpOptions {
     /// When set, receives the final basis of an Optimal solve (left
     /// untouched otherwise) for warm-starting the next solve.
     LpBasis* basisOut = nullptr;
+    /// Deadline/cancellation ticket polled every few hundred pivots
+    /// (idle by default; never influences pivot choices).
+    robust::Ticket control;
 };
 
 /// Solve the model as a *continuous* LP (integrality flags ignored) with

@@ -4,12 +4,38 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
+
 namespace streak::io {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("readDesign: " + what);
+/// Parse failures are structured invalid-input errors: the CLI maps
+/// them to exit code 3 and prints the (line, column) context. line 0
+/// means "no position" (e.g. a missing record noticed at end of input).
+[[noreturn]] void fail(const std::string& what, int line = 0, int column = 0) {
+    std::string msg = "readDesign: " + what;
+    if (line > 0) {
+        msg += " (line " + std::to_string(line);
+        if (column > 0) msg += ", column " + std::to_string(column);
+        msg += ")";
+    }
+    robust::StreakError err;
+    err.kind = robust::ErrorKind::InvalidInput;
+    err.site = "io/read";
+    err.message = std::move(msg);
+    robust::raise(std::move(err));
+}
+
+/// 1-based column where a field extraction stopped. After a failed
+/// `>>`, tellg() is -1; the useful position is then the line's end
+/// (truncated record) rather than nothing.
+int columnOf(std::istringstream& ss, const std::string& line) {
+    ss.clear();
+    const auto pos = ss.tellg();
+    if (pos < 0) return static_cast<int>(line.size()) + 1;
+    return static_cast<int>(pos) + 1;
 }
 
 }  // namespace
@@ -69,10 +95,13 @@ void writeDesignFile(const Design& design, const std::string& path) {
 }
 
 Design readDesign(std::istream& is) {
+    STREAK_FAULT_POINT("io/read");
     std::string line;
+    int lineNo = 0;
     // Header.
     for (;;) {
         if (!std::getline(is, line)) fail("missing header");
+        ++lineNo;
         if (line.empty() || line[0] == '#') continue;
         break;
     }
@@ -81,7 +110,9 @@ Design readDesign(std::istream& is) {
         std::string magic;
         int version = 0;
         ss >> magic >> version;
-        if (magic != "STREAK" || version != 1) fail("bad header: " + line);
+        if (magic != "STREAK" || version != 1) {
+            fail("bad header: " + line, lineNo, 1);
+        }
     }
 
     int width = 0, height = 0, layers = 0, cap = 0;
@@ -94,11 +125,13 @@ Design readDesign(std::istream& is) {
         int driver = 0;
         std::vector<geom::Point> pins;
         int expectedPins = 0;
+        int line = 0;  // where the BIT record was declared
     };
     struct PendingGroup {
         std::string name;
         std::vector<PendingBit> bits;
         int expectedBits = 0;
+        int line = 0;  // where the GROUP record was declared
     };
     std::vector<PendingGroup> groups;
     struct Blockage {
@@ -115,50 +148,53 @@ Design readDesign(std::istream& is) {
     std::vector<ViaBlockage> viaBlockages;
 
     while (std::getline(is, line)) {
+        ++lineNo;
         if (line.empty() || line[0] == '#') continue;
         std::istringstream ss(line);
         std::string kind;
         ss >> kind;
         if (kind == "GRID") {
             ss >> width >> height >> layers >> cap;
-            if (!ss) fail("bad GRID line");
+            if (!ss) fail("bad GRID line", lineNo, columnOf(ss, line));
             haveGrid = true;
         } else if (kind == "BLOCKAGE") {
             Blockage b{};
             ss >> b.rect.lo.x >> b.rect.lo.y >> b.rect.hi.x >> b.rect.hi.y >>
                 b.layer >> b.remaining;
-            if (!ss) fail("bad BLOCKAGE line");
+            if (!ss) fail("bad BLOCKAGE line", lineNo, columnOf(ss, line));
             blockages.push_back(b);
         } else if (kind == "VIACAP") {
             ss >> viaCap;
-            if (!ss) fail("bad VIACAP line");
+            if (!ss) fail("bad VIACAP line", lineNo, columnOf(ss, line));
         } else if (kind == "VIABLOCKAGE") {
             ViaBlockage b{};
             ss >> b.rect.lo.x >> b.rect.lo.y >> b.rect.hi.x >> b.rect.hi.y >>
                 b.remaining;
-            if (!ss) fail("bad VIABLOCKAGE line");
+            if (!ss) fail("bad VIABLOCKAGE line", lineNo, columnOf(ss, line));
             viaBlockages.push_back(b);
         } else if (kind == "GROUP") {
             PendingGroup g;
             ss >> g.name >> g.expectedBits;
-            if (!ss) fail("bad GROUP line");
+            if (!ss) fail("bad GROUP line", lineNo, columnOf(ss, line));
+            g.line = lineNo;
             groups.push_back(std::move(g));
         } else if (kind == "BIT") {
-            if (groups.empty()) fail("BIT before GROUP");
+            if (groups.empty()) fail("BIT before GROUP", lineNo, 1);
             PendingBit b;
             ss >> b.name >> b.expectedPins >> b.driver;
-            if (!ss) fail("bad BIT line");
+            if (!ss) fail("bad BIT line", lineNo, columnOf(ss, line));
+            b.line = lineNo;
             groups.back().bits.push_back(std::move(b));
         } else if (kind == "PIN") {
             if (groups.empty() || groups.back().bits.empty()) {
-                fail("PIN before BIT");
+                fail("PIN before BIT", lineNo, 1);
             }
             geom::Point p{};
             ss >> p.x >> p.y;
-            if (!ss) fail("bad PIN line");
+            if (!ss) fail("bad PIN line", lineNo, columnOf(ss, line));
             groups.back().bits.back().pins.push_back(p);
         } else {
-            fail("unknown record: " + kind);
+            fail("unknown record: " + kind, lineNo, 1);
         }
     }
     if (!haveGrid) fail("missing GRID");
@@ -177,17 +213,23 @@ Design readDesign(std::istream& is) {
     }
     for (PendingGroup& pg : groups) {
         if (static_cast<int>(pg.bits.size()) != pg.expectedBits) {
-            fail("group " + pg.name + " bit count mismatch");
+            fail("group " + pg.name + " bit count mismatch: declared " +
+                     std::to_string(pg.expectedBits) + ", found " +
+                     std::to_string(pg.bits.size()),
+                 pg.line);
         }
         SignalGroup g;
         g.name = std::move(pg.name);
         for (PendingBit& pb : pg.bits) {
             if (static_cast<int>(pb.pins.size()) != pb.expectedPins) {
-                fail("bit " + pb.name + " pin count mismatch");
+                fail("bit " + pb.name + " pin count mismatch: declared " +
+                         std::to_string(pb.expectedPins) + ", found " +
+                         std::to_string(pb.pins.size()),
+                     pb.line);
             }
             if (pb.driver < 0 ||
                 pb.driver >= static_cast<int>(pb.pins.size())) {
-                fail("bit " + pb.name + " driver out of range");
+                fail("bit " + pb.name + " driver out of range", pb.line);
             }
             g.bits.push_back(
                 {std::move(pb.name), std::move(pb.pins), pb.driver});
@@ -199,7 +241,13 @@ Design readDesign(std::istream& is) {
 
 Design readDesignFile(const std::string& path) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("readDesignFile: cannot open " + path);
+    if (!is) {
+        robust::StreakError err;
+        err.kind = robust::ErrorKind::InvalidInput;
+        err.site = "io/read";
+        err.message = "readDesignFile: cannot open " + path;
+        robust::raise(std::move(err));
+    }
     return readDesign(is);
 }
 

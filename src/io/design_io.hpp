@@ -21,7 +21,10 @@ namespace streak::io {
 void writeDesign(const Design& design, std::ostream& os);
 void writeDesignFile(const Design& design, const std::string& path);
 
-/// Throws std::runtime_error on malformed input.
+/// Throws a robust::StreakException (kind invalid-input, site "io/read")
+/// on malformed input; messages carry (line, column) context. The
+/// exception derives from std::runtime_error, so legacy catch sites
+/// keep working.
 [[nodiscard]] Design readDesign(std::istream& is);
 [[nodiscard]] Design readDesignFile(const std::string& path);
 

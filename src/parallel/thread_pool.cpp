@@ -4,10 +4,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "check/assert.hpp"
+#include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/error.hpp"
 
 namespace streak::parallel {
 
@@ -17,6 +21,33 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
     const std::chrono::duration<double> d =
         std::chrono::steady_clock::now() - start;
     return d.count();
+}
+
+/// Rethrow the lowest-index failure with a note about how many other
+/// task failures the region recorded alongside it. Known exception
+/// types keep their type (so stage boundaries and tests can still
+/// dispatch on it); anything else propagates unchanged — the note is
+/// then only visible through the counter.
+[[noreturn]] void rethrowWithSuppressedNote(const std::exception_ptr& first,
+                                            long suppressed) {
+    const std::string note =
+        " [+" + std::to_string(suppressed) +
+        " suppressed task failure(s), see parallel/exceptions_suppressed]";
+    try {
+        std::rethrow_exception(first);
+    } catch (const robust::StreakException& e) {
+        robust::StreakError err = e.error();
+        err.message += note;
+        robust::raise(std::move(err));
+    } catch (const check::CheckFailure& e) {
+        throw check::CheckFailure(e.what() + note);
+    } catch (const std::runtime_error& e) {
+        throw std::runtime_error(e.what() + note);
+    } catch (const std::logic_error& e) {
+        throw std::logic_error(e.what() + note);
+    } catch (const std::exception& e) {
+        throw std::runtime_error(e.what() + note);
+    }
 }
 
 }  // namespace
@@ -44,6 +75,9 @@ struct ThreadPool::Impl {
     int parentSpan = -1;
     std::atomic<int> nextTask{0};
     std::atomic<bool> failed{false};
+    // Deadline/cancellation ticket for the current job (idle when the
+    // pool owner never called setControl).
+    robust::Ticket control;
     std::vector<std::exception_ptr> errors;  // per task index
     std::vector<double> taskSeconds;         // per task index
 
@@ -61,6 +95,17 @@ struct ThreadPool::Impl {
             const int i = nextTask.fetch_add(1, std::memory_order_relaxed);
             if (i >= taskCount) return;
             if (failed.load(std::memory_order_relaxed)) continue;  // fail fast
+            // Workers record a trip instead of throwing: the owning
+            // thread rethrows it after the region drains, under the
+            // same lowest-index rule as task failures.
+            if (const robust::Trip trip = control.trip();
+                trip != robust::Trip::None) {
+                errors[static_cast<size_t>(i)] =
+                    std::make_exception_ptr(robust::StreakException(
+                        robust::Ticket::tripError(trip, "parallel/task")));
+                failed.store(true, std::memory_order_relaxed);
+                continue;
+            }
             const auto start = std::chrono::steady_clock::now();
             try {
                 (*fn)(i);
@@ -116,7 +161,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::runSerial(int n, const std::function<void(int)>& fn) {
     const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < n; ++i) fn(i);
+    for (int i = 0; i < n; ++i) {
+        control_.checkpoint("parallel/task");
+        fn(i);
+    }
     const double wall = secondsSince(start);
     ++stats_.regions;
     stats_.tasks += n;
@@ -142,6 +190,7 @@ void ThreadPool::runParallel(int n, const std::function<void(int)>& fn) {
                    threads_);
     im.fn = &fn;
     im.taskCount = n;
+    im.control = control_;
     im.parentSpan = obs::Tracer::instance().currentSpan();
     im.nextTask.store(0, std::memory_order_relaxed);
     im.failed.store(false, std::memory_order_relaxed);
@@ -168,10 +217,22 @@ void ThreadPool::runParallel(int n, const std::function<void(int)>& fn) {
     for (const double s : im.taskSeconds) stats_.taskSeconds += s;
 
     // Rethrow the lowest-index failure so error behaviour is as
-    // deterministic as success behaviour.
-    for (const std::exception_ptr& e : im.errors) {
-        if (e != nullptr) std::rethrow_exception(e);
+    // deterministic as success behaviour; failures beyond the first are
+    // tallied (never silently dropped) and noted in the message.
+    size_t firstError = im.errors.size();
+    long suppressed = 0;
+    for (size_t i = 0; i < im.errors.size(); ++i) {
+        if (im.errors[i] == nullptr) continue;
+        if (firstError == im.errors.size()) {
+            firstError = i;
+        } else {
+            ++suppressed;
+        }
     }
+    if (firstError == im.errors.size()) return;
+    if (suppressed == 0) std::rethrow_exception(im.errors[firstError]);
+    obs::counter("parallel/exceptions_suppressed").add(suppressed);
+    rethrowWithSuppressedNote(im.errors[firstError], suppressed);
 }
 
 void ThreadPool::parallelFor(int n, const std::function<void(int)>& fn) {

@@ -21,13 +21,22 @@
 // region that needs them) and are intended to live for the duration of
 // one flow stage. Exceptions thrown by tasks are captured and the one
 // with the lowest index is rethrown on the calling thread after the
-// region drains, keeping failure behaviour index-deterministic too.
+// region drains, keeping failure behaviour index-deterministic too;
+// when several tasks failed, the extra failures are tallied in the
+// `parallel/exceptions_suppressed` counter and noted in the rethrown
+// message so they are never silently dropped. A pool given a
+// robust::Ticket (setControl) additionally polls it before each task,
+// so a cancelled or over-budget run stops dispatching work and unwinds
+// with the corresponding structured error.
 #pragma once
 
 #include <exception>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
+
+#include "robust/control.hpp"
 
 namespace streak::parallel {
 
@@ -80,6 +89,12 @@ public:
 
     [[nodiscard]] int threadCount() const { return threads_; }
 
+    /// Deadline/cancellation ticket polled before every task (idle by
+    /// default). A trip makes the remaining tasks of the region fail
+    /// with the matching StreakError, which the region rethrows under
+    /// the usual lowest-index rule.
+    void setControl(robust::Ticket control) { control_ = std::move(control); }
+
     /// Run fn(i) for every i in [0, n). Blocks until all tasks finished.
     /// Must be called from the owning thread only (regions never nest).
     void parallelFor(int n, const std::function<void(int)>& fn);
@@ -115,6 +130,7 @@ private:
 
     int threads_;
     RegionStats stats_;
+    robust::Ticket control_;
     std::unique_ptr<Impl> impl_;  // created lazily with the workers
 };
 

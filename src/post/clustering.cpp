@@ -9,6 +9,7 @@
 #include "core/equiv.hpp"
 #include "core/regularity.hpp"
 #include "post/layer_predict.hpp"
+#include "robust/fault.hpp"
 
 namespace streak::post {
 
@@ -73,6 +74,7 @@ void commit(grid::EdgeUsage* usage, const steiner::Topology& t, int h, int v) {
 
 ClusteringResult clusterAndRoute(const RoutingProblem& prob,
                                  RoutedDesign* routed) {
+    STREAK_FAULT_POINT("post/cluster");
     const Design& design = *prob.design;
     const StreakOptions& opts = prob.opts;
     ClusteringResult result;

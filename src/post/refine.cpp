@@ -8,6 +8,7 @@
 #include "geom/rect.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 
 namespace streak::post {
 
@@ -286,6 +287,7 @@ bool regionsOverlap(const std::vector<geom::Rect>& a,
 RefinementResult refineDistances(const RoutingProblem& prob,
                                  RoutedDesign* routed) {
     STREAK_SPAN("post/refine");
+    STREAK_FAULT_POINT("post/refine");
     const StreakOptions& opts = prob.opts;
     RefinementResult result;
 
@@ -327,9 +329,13 @@ RefinementResult refineDistances(const RoutingProblem& prob,
     for (const Task& t : tasks) waves = std::max(waves, t.wave + 1);
 
     parallel::ThreadPool pool(parallel::resolveThreads(opts.threads));
+    pool.setControl(opts.control);
     std::vector<GroupRefineOutcome> outcomes(tasks.size());
     const bool detail = obs::detailEnabled();
     for (int wave = 0; wave < waves; ++wave) {
+        // Tick point: one poll per wave (a wave is a full parallel
+        // region of per-group detour searches).
+        opts.control.checkpoint("refine/wave");
         std::vector<int> members;
         for (size_t t = 0; t < tasks.size(); ++t) {
             if (tasks[t].wave == wave) members.push_back(static_cast<int>(t));

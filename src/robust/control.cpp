@@ -1,0 +1,22 @@
+#include "robust/control.hpp"
+
+namespace streak::robust {
+
+StreakError Ticket::tripError(Trip trip, const char* site) {
+    StreakError err;
+    err.site = site == nullptr ? "" : site;
+    if (trip == Trip::Cancelled) {
+        err.kind = ErrorKind::Cancelled;
+        err.message = "run cancelled";
+        err.recoverable = false;
+    } else {
+        err.kind = ErrorKind::DeadlineExpired;
+        err.message = "wall-clock deadline exceeded";
+        // A stage cut short by the deadline may still degrade to the
+        // last valid partial solution (see the ladder in flow/streak.cpp).
+        err.recoverable = true;
+    }
+    return err;
+}
+
+}  // namespace streak::robust

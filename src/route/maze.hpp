@@ -35,6 +35,7 @@
 
 #include "geom/point.hpp"
 #include "grid/routing_grid.hpp"
+#include "robust/control.hpp"
 
 namespace streak::route {
 
@@ -59,6 +60,10 @@ struct MazeOptions {
     bool useWindow = true;
     /// Initial window inflation margin in G-Cells; each retry doubles it.
     int windowMargin = 8;
+
+    /// Deadline/cancellation ticket polled every ~1024 heap pops (idle
+    /// by default; never influences pop order or the routed tree).
+    robust::Ticket control;
 };
 
 /// One routed net: the 3-D edges used (grid edge ids), plus summary

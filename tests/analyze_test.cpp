@@ -171,6 +171,58 @@ TEST(AnalyzeRules, PathExemptionsForInfrastructureModules) {
     EXPECT_EQ(run({snippet("src/core/solver.cpp", seeding)}).size(), 1u);
 }
 
+TEST(AnalyzeRules, CatchAllOnlyInInfrastructureModules) {
+    // src/parallel (task isolation) and src/robust (trip plumbing) are
+    // the only modules allowed to swallow everything; anywhere else a
+    // catch-all would eat cancellation and fault trips.
+    const std::string handler =
+        "void f() {\n"
+        "  try { g(); } catch (...) {\n"
+        "  }\n"
+        "}\n";
+    EXPECT_TRUE(run({snippet("src/parallel/pool.cpp", handler)}).empty());
+    EXPECT_TRUE(run({snippet("src/robust/control.cpp", handler)}).empty());
+    const std::vector<Finding> got =
+        run({snippet("src/flow/streak.cpp", handler)});
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].rule, "catch-all");
+    EXPECT_EQ(got[0].line, 2);
+
+    const std::vector<Finding> waived = run({snippet(
+        "src/flow/streak.cpp",
+        "void f() {\n"
+        "  try { g(); } catch (...) {  // analyze-ok: catch-all\n"
+        "  }\n"
+        "}\n")});
+    expectFindings(waived, {}, "waived catch-all");
+}
+
+TEST(AnalyzeRules, FlowThrowMustBeStructured) {
+    const std::vector<Finding> bad = run({snippet(
+        "src/flow/streak.cpp",
+        "#include <stdexcept>\n"
+        "void f() { throw std::runtime_error(\"x\"); }\n")});
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0].rule, "flow-throw");
+    EXPECT_EQ(bad[0].line, 2);
+
+    // Rethrow, structured throws, and non-flow modules are all fine.
+    EXPECT_TRUE(
+        run({snippet("src/flow/report.cpp",
+                     "void f() { try { g(); } catch (const E& e) { throw; } "
+                     "}\n")})
+            .empty());
+    EXPECT_TRUE(
+        run({snippet("src/flow/streak.cpp",
+                     "void f(robust::StreakError err) { throw "
+                     "robust::StreakException(std::move(err)); }\n")})
+            .empty());
+    EXPECT_TRUE(
+        run({snippet("src/core/solver.cpp",
+                     "void f() { throw std::runtime_error(\"x\"); }\n")})
+            .empty());
+}
+
 // ---------------------------------------------------------------------
 // Layering
 

@@ -1,0 +1,175 @@
+// Chaos suite (DESIGN.md "Robustness", check.sh stage 9): sweep every
+// cataloged fault site across the shrunk synth suites with a seeded
+// fault schedule and assert the flow's fault-tolerance contract — every
+// run either returns an audited-clean solution (possibly degraded) or a
+// structured StreakError. Never a crash, never a raw foreign exception.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "check/audit.hpp"
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+#include "io/design_io.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
+
+namespace streak {
+namespace {
+
+/// Shrunk synth suites (the golden_flow_test shrink, reduced further):
+/// small enough that the full sites x suites sweep runs in seconds.
+gen::SuiteSpec chaosSpec(int suite) {
+    gen::SuiteSpec spec = gen::synthSpec(suite);
+    spec.numGroups = 3;
+    spec.gridWidth = 32;
+    spec.gridHeight = 32;
+    spec.numBlockages = spec.numBlockages < 2 ? spec.numBlockages : 2;
+    return spec;
+}
+
+/// Sites that only execute under the ILP solver; everything else is
+/// reachable from the default primal-dual configuration.
+bool needsIlpSolver(const std::string& site) {
+    return site == "ilp/solve" || site == "lp/solve" || site == "bnb/node";
+}
+
+class ChaosSweep : public ::testing::Test {
+protected:
+    void SetUp() override {
+        if (!robust::faultInjectionCompiled()) {
+            GTEST_SKIP() << "STREAK_FAULTS=0 in this build";
+        }
+        robust::disarmFaults();
+    }
+    void TearDown() override { robust::disarmFaults(); }
+};
+
+TEST_F(ChaosSweep, EveryFaultSiteOnEverySuiteEndsInAuditedStateOrError) {
+    for (const std::string& site : robust::faultSiteCatalog()) {
+        for (int suite = 1; suite <= 7; ++suite) {
+            SCOPED_TRACE(site + " on synth" + std::to_string(suite));
+            // Seeded, deterministic schedule: the hit index depends only
+            // on (site, suite), so a failure here reproduces exactly.
+            robust::armFaultFromSeed(
+                site, static_cast<unsigned long>(suite) * 131 + 7);
+
+            const Design d = gen::generate(chaosSpec(suite));
+            // io/read fires on the file-format path, not inside the
+            // flow: exercise it via a write/read roundtrip.
+            if (site == "io/read") {
+                std::stringstream ss;
+                io::writeDesign(d, ss);
+                try {
+                    const Design loaded = io::readDesign(ss);
+                    EXPECT_EQ(loaded.numNets(), d.numNets());
+                } catch (const robust::StreakException& e) {
+                    EXPECT_EQ(e.error().kind,
+                              robust::ErrorKind::FaultInjected);
+                }
+                robust::disarmFaults();
+                continue;
+            }
+
+            StreakOptions opts;
+            opts.postOptimize = true;
+            if (needsIlpSolver(site)) {
+                opts.solver = SolverKind::Ilp;
+                opts.ilpTimeLimitSeconds = 2.0;
+            }
+            const FlowResult res = runStreak(d, opts);
+            if (res.ok()) {
+                // Clean or degraded: the output must audit clean.
+                const StreakResult& r = res.value();
+                const check::AuditResult audit =
+                    check::auditRoutedDesign(r.problem, r.routed);
+                EXPECT_TRUE(audit.ok()) << audit.summary();
+                if (r.degraded()) {
+                    for (const robust::Degradation& deg : r.degradations) {
+                        EXPECT_FALSE(deg.rung.empty());
+                        EXPECT_FALSE(deg.stage.empty());
+                    }
+                }
+            } else {
+                // The only acceptable failure from an injected fault is
+                // the structured fault-injected error itself.
+                EXPECT_EQ(res.error().kind, robust::ErrorKind::FaultInjected)
+                    << res.error().describe();
+                EXPECT_FALSE(res.error().stage.empty());
+            }
+            robust::disarmFaults();
+        }
+    }
+}
+
+TEST_F(ChaosSweep, SolveStageFaultDegradesToThePdResult) {
+    // Deterministic ladder check: an ILP-stage fault with a PD warm
+    // start must fall back to the warm solution, not fail the run.
+    robust::armFault("ilp/solve", /*hitIndex=*/0);
+    const Design d = gen::generate(chaosSpec(1));
+    StreakOptions opts;
+    opts.solver = SolverKind::Ilp;
+    opts.ilpTimeLimitSeconds = 2.0;
+    const FlowResult res = runStreak(d, opts);
+    ASSERT_TRUE(res.ok()) << res.error().describe();
+    const StreakResult& r = res.value();
+    ASSERT_TRUE(r.degraded());
+    std::set<std::string> rungs;
+    for (const robust::Degradation& deg : r.degradations) {
+        rungs.insert(deg.rung);
+    }
+    EXPECT_TRUE(rungs.contains("solve.ilp_to_pd"));
+    EXPECT_TRUE(r.hitTimeLimit);  // degraded solve reports its limit
+    const check::AuditResult audit =
+        check::auditRoutedDesign(r.problem, r.routed);
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+    EXPECT_GT(r.metrics.routedBits, 0);
+}
+
+TEST_F(ChaosSweep, RecoveryPolicyOffTurnsTheRungIntoAnError)
+{
+    robust::armFault("ilp/solve", /*hitIndex=*/0);
+    const Design d = gen::generate(chaosSpec(1));
+    StreakOptions opts;
+    opts.solver = SolverKind::Ilp;
+    opts.ilpTimeLimitSeconds = 2.0;
+    opts.recovery.ilpFallbackToPd = false;
+    const FlowResult res = runStreak(d, opts);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().kind, robust::ErrorKind::FaultInjected);
+    EXPECT_EQ(res.error().stage, stage::kSolve);
+}
+
+TEST(ChaosDeadline, ImmediateDeadlineFailsStructurally) {
+    // A deadline that expires before the first checkpoint: no partial
+    // solution exists yet, so the run must fail with deadline-expired —
+    // not crash, not return an unaudited result.
+    const Design d = gen::generate(chaosSpec(5));
+    StreakOptions opts;
+    opts.deadlineSeconds = 1e-9;
+    opts.postOptimize = true;
+    const FlowResult res = runStreak(d, opts);
+    if (res.ok()) {
+        // Conceivable only if the whole run fit under the clock tick.
+        EXPECT_GE(res.value().metrics.routedBits, 0);
+    } else {
+        EXPECT_EQ(res.error().kind, robust::ErrorKind::DeadlineExpired);
+    }
+}
+
+TEST(ChaosDeadline, GenerousDeadlineChangesNothing) {
+    const Design d = gen::generate(chaosSpec(3));
+    StreakOptions opts;
+    opts.postOptimize = true;
+    const StreakResult plain = runStreak(d, opts).value();
+    opts.deadlineSeconds = 3600.0;
+    const StreakResult timed = runStreak(d, opts).value();
+    EXPECT_EQ(plain.metrics.wirelength, timed.metrics.wirelength);
+    EXPECT_EQ(plain.metrics.routedBits, timed.metrics.routedBits);
+    EXPECT_FALSE(timed.degraded());
+}
+
+}  // namespace
+}  // namespace streak

@@ -255,7 +255,7 @@ TEST(AuditRoutedDesign, StreakFlowOutputAuditsClean) {
     const Design d = pipelineDesign();
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult res = runStreak(d, opts);
+    const StreakResult res = runStreak(d, opts).value();
     const check::AuditResult r =
         check::auditRoutedDesign(res.problem, res.routed);
     EXPECT_TRUE(r.ok()) << r.summary();
@@ -263,7 +263,7 @@ TEST(AuditRoutedDesign, StreakFlowOutputAuditsClean) {
 
 TEST(AuditRoutedDesign, TamperedUsageIsReported) {
     const Design d = pipelineDesign();
-    const StreakResult res = runStreak(d, StreakOptions{});
+    const StreakResult res = runStreak(d, StreakOptions{}).value();
     RoutedDesign routed = res.routed;
     routed.usage.add(0, 1);  // phantom track no topology explains
     const check::AuditResult r =
@@ -275,7 +275,7 @@ TEST(AuditRoutedDesign, TamperedUsageIsReported) {
 
 TEST(AuditRoutedDesign, DroppedBitIsReported) {
     const Design d = pipelineDesign();
-    const StreakResult res = runStreak(d, StreakOptions{});
+    const StreakResult res = runStreak(d, StreakOptions{}).value();
     RoutedDesign routed = res.routed;
     ASSERT_FALSE(routed.bits.empty());
     routed.bits.pop_back();  // a member is now accounted for zero times
@@ -293,7 +293,7 @@ TEST(AuditRoutedDesign, DroppedBitIsReported) {
 
 TEST(AuditRoutedDesign, CorruptedTopologyIsReported) {
     const Design d = pipelineDesign();
-    const StreakResult res = runStreak(d, StreakOptions{});
+    const StreakResult res = runStreak(d, StreakOptions{}).value();
     RoutedDesign routed = res.routed;
     ASSERT_FALSE(routed.bits.empty());
     // Remove one unit of wire: the topology disconnects (and the recorded
@@ -390,7 +390,7 @@ TEST(DeepAudit, FullStreakFlowPassesUnderDeepChecks) {
     opts.postOptimize = true;
     // Every STREAK_DEEP_AUDIT stage boundary in the flow now runs; a
     // throw here means the pipeline handed corrupt state downstream.
-    const StreakResult res = runStreak(d, opts);
+    const StreakResult res = runStreak(d, opts).value();
     EXPECT_GT(res.routed.routedBits(), 0);
 }
 
@@ -399,7 +399,7 @@ TEST(DeepAudit, IlpSolverPassesUnderDeepChecks) {
     const Design d = pipelineDesign();
     StreakOptions opts;
     opts.solver = SolverKind::Ilp;
-    const StreakResult res = runStreak(d, opts);
+    const StreakResult res = runStreak(d, opts).value();
     EXPECT_GT(res.routed.routedBits(), 0);
 }
 

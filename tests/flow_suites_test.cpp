@@ -18,7 +18,7 @@ TEST_P(SuiteSweep, PdFlowInvariants) {
     StreakOptions opts;
     opts.solver = SolverKind::PrimalDual;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
 
     // Capacity legality is unconditional in Streak.
     EXPECT_EQ(r.metrics.totalOverflow, 0);
@@ -53,7 +53,7 @@ TEST_P(SuiteSweep, PdFlowInvariants) {
 TEST_P(SuiteSweep, BitsInOneObjectShareTopologyShape) {
     const Design d = gen::makeSynth(GetParam());
     StreakOptions opts;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     // Solver-routed bits of one object carry equivalent topologies: same
     // wire-length spread only from stretching, but identical bend counts.
     std::map<int, std::vector<const RoutedBit*>> byObject;

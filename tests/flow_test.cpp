@@ -28,7 +28,7 @@ TEST(Flow, PrimalDualEndToEnd) {
     const Design d = gen::generate(tinySpec());
     StreakOptions opts;
     opts.solver = SolverKind::PrimalDual;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     EXPECT_GT(r.metrics.routability, 0.7);
     EXPECT_EQ(r.metrics.totalOverflow, 0);
     EXPECT_GT(r.metrics.wirelength, 0);
@@ -41,7 +41,7 @@ TEST(Flow, IlpEndToEnd) {
     StreakOptions opts;
     opts.solver = SolverKind::Ilp;
     opts.ilpTimeLimitSeconds = 30.0;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     EXPECT_GT(r.metrics.routability, 0.7);
     EXPECT_EQ(r.metrics.totalOverflow, 0);
 }
@@ -50,10 +50,10 @@ TEST(Flow, IlpObjectiveNotWorseThanPd) {
     const Design d = gen::generate(tinySpec());
     StreakOptions opts;
     opts.solver = SolverKind::PrimalDual;
-    const StreakResult pd = runStreak(d, opts);
+    const StreakResult pd = runStreak(d, opts).value();
     opts.solver = SolverKind::Ilp;
     opts.ilpTimeLimitSeconds = 60.0;
-    const StreakResult ilp = runStreak(d, opts);
+    const StreakResult ilp = runStreak(d, opts).value();
     if (!ilp.hitTimeLimit) {
         EXPECT_LE(ilp.solverSolution.objective,
                   pd.solverSolution.objective + 1e-6);
@@ -67,9 +67,9 @@ TEST(Flow, PostOptimizationNeverLowersRoutability) {
     const Design d = gen::generate(spec);
     StreakOptions opts;
     opts.solver = SolverKind::PrimalDual;
-    const StreakResult base = runStreak(d, opts);
+    const StreakResult base = runStreak(d, opts).value();
     opts.postOptimize = true;
-    const StreakResult post = runStreak(d, opts);
+    const StreakResult post = runStreak(d, opts).value();
     EXPECT_GE(post.metrics.routability, base.metrics.routability);
     EXPECT_EQ(post.metrics.totalOverflow, 0);
 }
@@ -78,14 +78,14 @@ TEST(Flow, RefinementReducesDistanceViolations) {
     const Design d = gen::generate(tinySpec());
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     EXPECT_LE(r.distanceViolationsAfter, r.distanceViolationsBefore);
 }
 
 TEST(Flow, SolverSolutionsRespectLowerBound) {
     const Design d = gen::generate(tinySpec());
     StreakOptions opts;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     EXPECT_GE(r.solverSolution.objective,
               r.problem.costLowerBound() - 1e-9);
 }
@@ -94,8 +94,8 @@ TEST(Flow, DeterministicAcrossRuns) {
     const Design d = gen::generate(tinySpec());
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult a = runStreak(d, opts);
-    const StreakResult b = runStreak(d, opts);
+    const StreakResult a = runStreak(d, opts).value();
+    const StreakResult b = runStreak(d, opts).value();
     EXPECT_EQ(a.solverSolution.chosen, b.solverSolution.chosen);
     EXPECT_EQ(a.metrics.wirelength, b.metrics.wirelength);
     EXPECT_DOUBLE_EQ(a.metrics.avgRegularity, b.metrics.avgRegularity);
@@ -103,7 +103,7 @@ TEST(Flow, DeterministicAcrossRuns) {
 
 TEST(Flow, MetricsConsistentWithRoutedBits) {
     const Design d = gen::generate(tinySpec());
-    const StreakResult r = runStreak(d, StreakOptions{});
+    const StreakResult r = runStreak(d, StreakOptions{}).value();
     EXPECT_EQ(r.metrics.totalBits, d.numNets());
     EXPECT_EQ(r.metrics.routedBits, r.routed.routedBits());
 }

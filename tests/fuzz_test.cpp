@@ -51,7 +51,7 @@ TEST_P(FlowFuzz, FullFlowInvariants) {
     const Design d = gen::generate(randomSpec(GetParam()));
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
 
     EXPECT_EQ(r.metrics.totalOverflow, 0);
     EXPECT_EQ(r.metrics.totalViaOverflow, 0);
@@ -72,8 +72,8 @@ TEST_P(FlowFuzz, FlowIsDeterministic) {
     const Design d = gen::generate(randomSpec(GetParam()));
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult a = runStreak(d, opts);
-    const StreakResult b = runStreak(d, opts);
+    const StreakResult a = runStreak(d, opts).value();
+    const StreakResult b = runStreak(d, opts).value();
     EXPECT_EQ(a.solverSolution.chosen, b.solverSolution.chosen);
     EXPECT_EQ(a.metrics.wirelength, b.metrics.wirelength);
     EXPECT_EQ(a.metrics.routedBits, b.metrics.routedBits);
@@ -87,15 +87,15 @@ TEST_P(FlowFuzz, DesignFileRoundTrip) {
     ASSERT_EQ(back.numNets(), d.numNets());
     // Routing the reloaded design gives identical results.
     StreakOptions opts;
-    const StreakResult r1 = runStreak(d, opts);
-    const StreakResult r2 = runStreak(back, opts);
+    const StreakResult r1 = runStreak(d, opts).value();
+    const StreakResult r2 = runStreak(back, opts).value();
     EXPECT_EQ(r1.metrics.wirelength, r2.metrics.wirelength);
     EXPECT_EQ(r1.metrics.routedBits, r2.metrics.routedBits);
 }
 
 TEST_P(FlowFuzz, TrackAssignmentLegal) {
     const Design d = gen::generate(randomSpec(GetParam()));
-    const StreakResult r = runStreak(d, StreakOptions{});
+    const StreakResult r = runStreak(d, StreakOptions{}).value();
     const track::TrackAssignment ta = track::assignTracks(r.routed);
     // Placed trunks never exceed the covered edges' capacities.
     for (const track::AssignedWire& w : ta.wires) {

@@ -50,7 +50,7 @@ GoldenRow measure(int suite) {
     const Design d = gen::generate(goldenSpec(suite));
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     GoldenRow row;
     row.suite = suite;
     row.totalBits = r.metrics.totalBits;

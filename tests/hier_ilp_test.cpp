@@ -153,7 +153,7 @@ TEST(HierIlp, FlowIntegration) {
     StreakOptions opts;
     opts.solver = SolverKind::IlpHierarchical;
     opts.ilpTimeLimitSeconds = 10.0;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     EXPECT_GT(r.metrics.routability, 0.9);
     EXPECT_EQ(r.metrics.totalOverflow, 0);
 }

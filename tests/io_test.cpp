@@ -6,6 +6,7 @@
 #include "io/design_io.hpp"
 #include "io/heatmap.hpp"
 #include "io/table.hpp"
+#include "robust/error.hpp"
 #include "test_util.hpp"
 
 namespace streak::io {
@@ -86,6 +87,67 @@ TEST(DesignIo, ViaBlockageWithoutCapIsRejected) {
     std::stringstream ss(
         "STREAK 1\nGRID 8 8 2 4\nVIABLOCKAGE 1 1 2 2 0\n");
     EXPECT_THROW(readDesign(ss), std::runtime_error);
+}
+
+TEST(DesignIo, TruncatedRecordReportsLineAndColumn) {
+    // GRID on line 2 is cut off after the height: the error must name
+    // the line and point past the last parsed character.
+    std::stringstream ss("STREAK 1\nGRID 8 8\n");
+    try {
+        (void)readDesign(ss);
+        FAIL() << "expected a parse error";
+    } catch (const robust::StreakException& e) {
+        EXPECT_EQ(e.error().kind, robust::ErrorKind::InvalidInput);
+        EXPECT_EQ(e.error().site, "io/read");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad GRID line"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("column 9"), std::string::npos) << what;
+    }
+}
+
+TEST(DesignIo, CorruptedFieldReportsLineAndColumn) {
+    // The BIT pin count on line 4 is not a number; tellg() stops at the
+    // space before it (column 6: after "BIT b").
+    std::stringstream ss(
+        "STREAK 1\nGRID 8 8 2 4\nGROUP g 1\nBIT b garbage 0\nPIN 1 1\n");
+    try {
+        (void)readDesign(ss);
+        FAIL() << "expected a parse error";
+    } catch (const robust::StreakException& e) {
+        EXPECT_EQ(e.error().kind, robust::ErrorKind::InvalidInput);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad BIT line"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("column"), std::string::npos) << what;
+    }
+}
+
+TEST(DesignIo, CountMismatchReportsDeclaringLine) {
+    // BIT on line 4 declares 2 pins but only 1 follows; the error points
+    // back at the declaring record, not at end-of-file.
+    std::stringstream ss(
+        "STREAK 1\nGRID 8 8 2 4\nGROUP g 1\nBIT b 2 0\nPIN 1 1\n");
+    try {
+        (void)readDesign(ss);
+        FAIL() << "expected a parse error";
+    } catch (const robust::StreakException& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("pin count mismatch"), std::string::npos) << what;
+        EXPECT_NE(what.find("declared 2, found 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    }
+}
+
+TEST(DesignIo, MissingFileIsInvalidInput) {
+    try {
+        (void)readDesignFile("/nonexistent/design.streak");
+        FAIL() << "expected an error";
+    } catch (const robust::StreakException& e) {
+        EXPECT_EQ(e.error().kind, robust::ErrorKind::InvalidInput);
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos);
+    }
 }
 
 TEST(Heatmap, CongestionGridReflectsUsage) {

@@ -177,7 +177,7 @@ StreakResult observedRun(const Design& d, int threads) {
     opts.postOptimize = true;
     opts.threads = threads;
     opts.observer = [](const StreakObservation&) {};
-    return runStreak(d, opts);
+    return runStreak(d, opts).value();
 }
 
 TEST(FlowObservability, CountersAreThreadCountInvariant) {
@@ -211,7 +211,7 @@ TEST(FlowObservability, ObserverSeesTraceAndStageSpansBackAccessors) {
         EXPECT_NE(obs::findSpan(o.trace, stage::kRun), nullptr);
         EXPECT_FALSE(o.counters.counters.empty());
     };
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     EXPECT_TRUE(called);
 
     // The derived accessors read the same span tree the observer saw.
@@ -230,7 +230,7 @@ TEST(FlowObservability, DetailStaysOffWithoutObserver) {
     StreakOptions opts;
     opts.postOptimize = true;
     opts.threads = 1;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     // Stage spans always record; hot-path counters stay silent.
     EXPECT_GT(r.totalSeconds(), 0.0);
     EXPECT_FALSE(r.counters.counters.contains("solve/pd.iterations"));
@@ -243,7 +243,7 @@ TEST(Report, RoundTripsThroughParser) {
     opts.postOptimize = true;
     opts.threads = 2;
     opts.observer = [](const StreakObservation&) {};
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
 
     std::ostringstream os;
     flow::writeRunReport(d, opts, r, os);

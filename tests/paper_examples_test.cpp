@@ -114,7 +114,7 @@ TEST(Table1Invariant, ManualAlwaysAtLeastStreakRoutability) {
         const Design d = gen::makeSynth(i);
         const route::SequentialResult man = route::routeSequential(d);
         StreakOptions opts;
-        const StreakResult r = runStreak(d, opts);
+        const StreakResult r = runStreak(d, opts).value();
         EXPECT_GE(man.routability() + 1e-12, r.metrics.routability)
             << "synth" << i;
     }

@@ -72,7 +72,7 @@ StreakResult runWithThreads(const Design& d, SolverKind solver, int threads) {
     // while no component hits its cap, so keep comfortably under it.
     opts.ilpTimeLimitSeconds = 60.0;
     opts.threads = threads;
-    return runStreak(d, opts);
+    return runStreak(d, opts).value();
 }
 
 class ParallelDeterminism

@@ -118,7 +118,7 @@ TEST(ViaModel, EndToEndFlowStaysViaClean) {
     const Design d = gen::generate(spec);
     StreakOptions opts;
     opts.postOptimize = true;
-    const StreakResult r = runStreak(d, opts);
+    const StreakResult r = runStreak(d, opts).value();
     EXPECT_EQ(r.metrics.totalViaOverflow, 0);
     EXPECT_EQ(r.metrics.totalOverflow, 0);
     EXPECT_GT(r.metrics.routability, 0.8);
@@ -131,8 +131,8 @@ TEST(ViaModel, TighterViaCapacityNeverImprovesRoutability) {
     spec.viaCapacity = 2;
     const Design tight = gen::generate(spec);
     StreakOptions opts;
-    const StreakResult a = runStreak(loose, opts);
-    const StreakResult b = runStreak(tight, opts);
+    const StreakResult a = runStreak(loose, opts).value();
+    const StreakResult b = runStreak(tight, opts).value();
     EXPECT_LE(b.metrics.routability, a.metrics.routability + 1e-12);
     EXPECT_EQ(b.metrics.totalViaOverflow, 0);
 }

@@ -1,0 +1,334 @@
+// Unit tests for the fault-tolerance layer (src/robust): structured
+// errors, deadline/cancellation tickets, strided tick gates, and the
+// deterministic fault-injection registry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+#include "io/design_io.hpp"
+#include "robust/control.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
+
+namespace streak::robust {
+namespace {
+
+// ----------------------------------------------------------- errors
+
+TEST(StreakError, DescribeComposesKindStageSiteAndMessage) {
+    StreakError err;
+    err.kind = ErrorKind::DeadlineExpired;
+    err.stage = "flow/solve";
+    err.site = "lp/pivot";
+    err.message = "wall-clock deadline exceeded";
+    EXPECT_EQ(err.describe(),
+              "deadline-expired at flow/solve (lp/pivot): "
+              "wall-clock deadline exceeded");
+    StreakError bare;
+    bare.kind = ErrorKind::Internal;
+    EXPECT_EQ(bare.describe(), "internal");
+}
+
+TEST(StreakError, KindNamesAndExitCodesAreDistinct) {
+    const ErrorKind kinds[] = {ErrorKind::InvalidInput,
+                               ErrorKind::DeadlineExpired,
+                               ErrorKind::Cancelled, ErrorKind::FaultInjected,
+                               ErrorKind::Internal};
+    std::set<std::string> names;
+    std::set<int> codes;
+    for (const ErrorKind k : kinds) {
+        names.insert(errorKindName(k));
+        const int code = exitCodeFor(k);
+        codes.insert(code);
+        // 0/1/2 keep their historical CLI meanings.
+        EXPECT_GE(code, 3);
+    }
+    EXPECT_EQ(names.size(), 5u);
+    EXPECT_EQ(codes.size(), 5u);
+}
+
+TEST(StreakException, NoteStageKeepsTheInnermostStage) {
+    StreakError err;
+    err.kind = ErrorKind::FaultInjected;
+    err.message = "boom";
+    StreakException e(err);
+    e.noteStage("flow/solve");
+    EXPECT_EQ(e.error().stage, "flow/solve");
+    e.noteStage("flow/run");  // outer wrapper must not overwrite
+    EXPECT_EQ(e.error().stage, "flow/solve");
+    EXPECT_NE(std::string(e.what()).find("flow/solve"), std::string::npos);
+}
+
+TEST(StreakException, IsARuntimeErrorForLegacyCatchSites) {
+    StreakError err;
+    err.kind = ErrorKind::InvalidInput;
+    err.message = "bad input";
+    try {
+        raise(std::move(err));
+        FAIL() << "raise must throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("bad input"), std::string::npos);
+    }
+}
+
+// ----------------------------------------------- deadline and ticket
+
+TEST(Deadline, NonPositiveBudgetNeverExpires) {
+    const Deadline never(0.0);
+    EXPECT_FALSE(never.armed());
+    EXPECT_FALSE(never.expired());
+    const Deadline negative(-1.0);
+    EXPECT_FALSE(negative.armed());
+    EXPECT_FALSE(negative.expired());
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+    const Deadline d(1e-9);
+    ASSERT_TRUE(d.armed());
+    while (!d.expired()) {
+    }  // terminates as soon as the stopwatch advances past 1ns
+    EXPECT_TRUE(d.expired());
+}
+
+TEST(Ticket, IdleTicketNeverTrips) {
+    const Ticket idle;
+    EXPECT_TRUE(idle.idle());
+    EXPECT_EQ(idle.trip(), Trip::None);
+    EXPECT_NO_THROW(idle.checkpoint("test/site"));
+}
+
+TEST(Ticket, CancellationTripsWithAStructuredError) {
+    auto cancel = std::make_shared<CancelToken>();
+    const Ticket ticket(nullptr, cancel);
+    EXPECT_FALSE(ticket.idle());
+    EXPECT_NO_THROW(ticket.checkpoint("test/site"));
+    cancel->requestCancel();
+    EXPECT_EQ(ticket.trip(), Trip::Cancelled);
+    try {
+        ticket.checkpoint("test/site");
+        FAIL() << "expected a trip";
+    } catch (const StreakException& e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::Cancelled);
+        EXPECT_EQ(e.error().site, "test/site");
+        EXPECT_FALSE(e.error().recoverable);
+    }
+}
+
+TEST(Ticket, ExpiredDeadlineTripsRecoverably) {
+    auto deadline = std::make_shared<Deadline>(1e-9);
+    const Ticket ticket(deadline, nullptr);
+    while (!deadline->expired()) {
+    }
+    try {
+        ticket.checkpoint("maze/pop");
+        FAIL() << "expected a trip";
+    } catch (const StreakException& e) {
+        EXPECT_EQ(e.error().kind, ErrorKind::DeadlineExpired);
+        EXPECT_EQ(e.error().site, "maze/pop");
+        EXPECT_TRUE(e.error().recoverable);
+    }
+}
+
+TEST(Ticket, CancellationWinsOverDeadline) {
+    auto deadline = std::make_shared<Deadline>(1e-9);
+    auto cancel = std::make_shared<CancelToken>();
+    cancel->requestCancel();
+    const Ticket ticket(deadline, cancel);
+    while (!deadline->expired()) {
+    }
+    EXPECT_EQ(ticket.trip(), Trip::Cancelled);
+}
+
+TEST(TickGate, PollsOnlyEveryStride) {
+    auto cancel = std::make_shared<CancelToken>();
+    cancel->requestCancel();
+    const Ticket ticket(nullptr, cancel);
+    TickGate gate(ticket, "test/site", /*stride=*/4);
+    // The first three ticks must not poll (hot-loop contract).
+    EXPECT_NO_THROW(gate.tick());
+    EXPECT_NO_THROW(gate.tick());
+    EXPECT_NO_THROW(gate.tick());
+    EXPECT_THROW(gate.tick(), StreakException);
+}
+
+TEST(TickGate, IdleTicketCostsNothingAndNeverThrows) {
+    const Ticket idle;
+    TickGate gate(idle, "test/site", /*stride=*/1);
+    for (int i = 0; i < 100; ++i) EXPECT_NO_THROW(gate.tick());
+}
+
+// ------------------------------------------------- fault injection
+
+class FaultRegistry : public ::testing::Test {
+protected:
+    void SetUp() override {
+        if (!faultInjectionCompiled()) {
+            GTEST_SKIP() << "STREAK_FAULTS=0 in this build";
+        }
+        disarmFaults();
+    }
+    void TearDown() override { disarmFaults(); }
+};
+
+TEST_F(FaultRegistry, ArmedSiteFiresOnTheExactHit) {
+    // io/read executes once per readDesign call; arm hit index 1 so the
+    // first call survives and the second throws.
+    armFault("io/read", /*hitIndex=*/1);
+    const std::string text = "STREAK 1\nGRID 8 8 2 4\n";
+    {
+        std::stringstream ss(text);
+        EXPECT_NO_THROW((void)io::readDesign(ss));
+    }
+    {
+        std::stringstream ss(text);
+        try {
+            (void)io::readDesign(ss);
+            FAIL() << "expected the armed fault to fire";
+        } catch (const StreakException& e) {
+            EXPECT_EQ(e.error().kind, ErrorKind::FaultInjected);
+            EXPECT_EQ(e.error().site, "io/read");
+            EXPECT_TRUE(e.error().recoverable);
+        }
+    }
+    // Fired faults disarm-by-exhaustion is NOT the contract: the same
+    // hit index never matches again, so later calls succeed.
+    {
+        std::stringstream ss(text);
+        EXPECT_NO_THROW((void)io::readDesign(ss));
+    }
+    EXPECT_EQ(faultHits("io/read"), 3);
+}
+
+TEST_F(FaultRegistry, DisarmedSitesCountNothing) {
+    std::stringstream ss("STREAK 1\nGRID 8 8 2 4\n");
+    (void)io::readDesign(ss);
+    EXPECT_EQ(faultHits("io/read"), 0);
+    EXPECT_TRUE(faultSitesSeen().empty());
+}
+
+TEST_F(FaultRegistry, SeededScheduleIsDeterministicAndBounded) {
+    const long a = armFaultFromSeed("ilp/solve", 12345, /*maxHit=*/3);
+    const long b = armFaultFromSeed("ilp/solve", 12345, /*maxHit=*/3);
+    EXPECT_EQ(a, b);
+    for (unsigned long seed = 0; seed < 64; ++seed) {
+        const long idx = armFaultFromSeed("ilp/solve", seed, /*maxHit=*/3);
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, 3);
+    }
+    // Different sites with the same seed need not collide on one index.
+    std::set<long> spread;
+    for (const char* site : {"ilp/solve", "maze/search", "pd/iteration",
+                             "post/refine", "io/read"}) {
+        spread.insert(armFaultFromSeed(site, 7, /*maxHit=*/3));
+    }
+    EXPECT_GE(spread.size(), 2u);
+}
+
+TEST_F(FaultRegistry, CatalogIsSortedAndUnique) {
+    const std::vector<std::string>& catalog = faultSiteCatalog();
+    ASSERT_FALSE(catalog.empty());
+    for (size_t i = 1; i < catalog.size(); ++i) {
+        EXPECT_LT(catalog[i - 1], catalog[i]);
+    }
+}
+
+TEST_F(FaultRegistry, EverySiteSeenInAFullRunIsCataloged) {
+    // Arm an unreachable hit index on a site that never fires so hit
+    // counting is active, then run the widest flow configuration plus a
+    // design-file roundtrip. Any executed site missing from the catalog
+    // is catalog rot.
+    armFault("io/read", /*hitIndex=*/1000000);
+    const Design d = gen::generate([] {
+        gen::SuiteSpec spec = gen::synthSpec(6);
+        spec.numGroups = 4;
+        spec.gridWidth = 32;
+        spec.gridHeight = 32;
+        return spec;
+    }());
+    std::stringstream ss;
+    io::writeDesign(d, ss);
+    const Design loaded = io::readDesign(ss);
+    StreakOptions opts;
+    opts.solver = SolverKind::Ilp;
+    opts.ilpTimeLimitSeconds = 5.0;
+    opts.postOptimize = true;
+    (void)runStreak(loaded, opts).value();
+
+    const std::vector<std::string>& catalog = faultSiteCatalog();
+    const std::set<std::string> known(catalog.begin(), catalog.end());
+    const std::vector<std::string> seen = faultSitesSeen();
+    EXPECT_FALSE(seen.empty());
+    for (const std::string& site : seen) {
+        EXPECT_TRUE(known.contains(site))
+            << "site \"" << site << "\" executed but is not in the catalog";
+    }
+    // The flow above must reach at least these cataloged sites.
+    const std::set<std::string> observed(seen.begin(), seen.end());
+    for (const char* expected :
+         {"io/read", "build/candidates", "ilp/solve", "lp/solve",
+          "pd/iteration", "distance/analyze"}) {
+        EXPECT_TRUE(observed.contains(expected))
+            << "expected site \"" << expected << "\" was never executed";
+    }
+}
+
+// -------------------------------------------------- flow integration
+
+TEST(FlowRobustness, CancelledRunReturnsAStructuredError) {
+    const Design d = gen::generate([] {
+        gen::SuiteSpec spec = gen::synthSpec(1);
+        spec.numGroups = 3;
+        spec.gridWidth = 32;
+        spec.gridHeight = 32;
+        return spec;
+    }());
+    StreakOptions opts;
+    opts.cancel = std::make_shared<CancelToken>();
+    opts.cancel->requestCancel();  // cancelled before the run starts
+    const FlowResult res = runStreak(d, opts);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().kind, ErrorKind::Cancelled);
+    EXPECT_FALSE(res.error().stage.empty());
+}
+
+TEST(FlowRobustness, UncancelledTicketedRunMatchesPlainRun) {
+    // Determinism contract: a generous deadline and an unfired cancel
+    // token must not change a single byte of the outcome.
+    const Design d = gen::generate([] {
+        gen::SuiteSpec spec = gen::synthSpec(2);
+        spec.numGroups = 4;
+        spec.gridWidth = 32;
+        spec.gridHeight = 32;
+        return spec;
+    }());
+    StreakOptions plain;
+    plain.postOptimize = true;
+    const StreakResult a = runStreak(d, plain).value();
+    StreakOptions guarded = plain;
+    guarded.deadlineSeconds = 3600.0;
+    guarded.cancel = std::make_shared<CancelToken>();
+    const StreakResult b = runStreak(d, guarded).value();
+    EXPECT_EQ(a.metrics.routedBits, b.metrics.routedBits);
+    EXPECT_EQ(a.metrics.wirelength, b.metrics.wirelength);
+    EXPECT_EQ(a.metrics.totalOverflow, b.metrics.totalOverflow);
+    EXPECT_EQ(a.distanceViolationsAfter, b.distanceViolationsAfter);
+    EXPECT_FALSE(b.degraded());
+}
+
+TEST(FlowRobustness, FlowResultContractIsEnforced) {
+    StreakError err;
+    err.kind = ErrorKind::Internal;
+    err.message = "synthetic";
+    const FlowResult failed{err};
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().kind, ErrorKind::Internal);
+}
+
+}  // namespace
+}  // namespace streak::robust

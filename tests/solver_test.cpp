@@ -115,6 +115,57 @@ TEST(IlpRouter, DecomposesIndependentComponents) {
     EXPECT_EQ(r.components, 2);
 }
 
+TEST(IlpRouter, ZeroCandidateComponentLeavesObjectUnrouted) {
+    // A component whose objects have no candidates at all must not break
+    // the budget split (its weight is 0) or the model build: the object
+    // simply stays unrouted (slack = 1) and everything else solves.
+    const Design d = simpleDesign();
+    RoutingProblem prob = buildProblem(d, StreakOptions{});
+    prob.candidates[0].clear();
+    const IlpRouteResult r = solveIlpRouting(prob, 10.0);
+    EXPECT_EQ(r.solution.chosen[0], -1);
+    EXPECT_GE(r.solution.chosen[1], 0);
+    expectCapacityClean(prob, r.solution);
+}
+
+TEST(IlpRouter, SingleComponentOwnsTheWholeBudget) {
+    // Split the only group into two style objects: same-group objects
+    // always interact through pair costs, so the whole problem collapses
+    // into a single component that owns the entire time budget.
+    Design d = testutil::makeDesign(
+        {testutil::makeBusGroup({{2, 4}, {12, 4}}, 4, 0, 1, "a")}, 32, 32, 4,
+        10);
+    d.groups[0].bits[2].pins[1] = {12, 12};
+    d.groups[0].bits[3].pins[1] = {12, 13};
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    ASSERT_GT(prob.numObjects(), 1);
+    const IlpRouteResult r = solveIlpRouting(prob, 10.0);
+    EXPECT_EQ(r.components, 1);
+    expectCapacityClean(prob, r.solution);
+}
+
+TEST(IlpRouter, ExpiredBudgetKeepsTheWarmStart) {
+    // timeLimitSeconds = 0: every component's deterministic budget share
+    // is already spent, so branch-and-bound must immediately fall back
+    // to the warm start — a valid (degraded) solution, never a crash.
+    const Design d = simpleDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    const PdResult warm = solvePrimalDual(prob);
+    const IlpRouteResult r = solveIlpRouting(prob, 0.0, &warm.solution);
+    EXPECT_TRUE(r.hitTimeLimit);
+    EXPECT_EQ(r.solution.chosen, warm.solution.chosen);
+    expectCapacityClean(prob, r.solution);
+}
+
+TEST(IlpRouter, ExpiredBudgetWithoutWarmStartLeavesAllUnrouted) {
+    const Design d = simpleDesign();
+    const RoutingProblem prob = buildProblem(d, StreakOptions{});
+    const IlpRouteResult r = solveIlpRouting(prob, 0.0);
+    EXPECT_TRUE(r.hitTimeLimit);
+    for (const int c : r.solution.chosen) EXPECT_EQ(c, -1);
+    expectCapacityClean(prob, r.solution);
+}
+
 TEST(SolutionObjective, CountsMAndPairTerms) {
     const Design d = simpleDesign();
     StreakOptions opts;

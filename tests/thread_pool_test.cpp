@@ -1,11 +1,14 @@
 #include "parallel/thread_pool.hpp"
 
+#include "obs/counters.hpp"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace streak::parallel {
@@ -97,9 +100,43 @@ TEST(ThreadPool, LowestIndexExceptionWins) {
             });
             FAIL() << "expected the region to rethrow";
         } catch (const std::runtime_error& e) {
-            EXPECT_STREQ(e.what(), "task 3");
+            // Later failing indices may or may not have thrown before the
+            // fail-fast flag stopped them; the winner is always task 3,
+            // possibly with a suppressed-failures note appended.
+            const std::string what = e.what();
+            EXPECT_EQ(what.rfind("task 3", 0), 0u) << what;
+            EXPECT_EQ(what.find("task 1"), std::string::npos) << what;
         }
     }
+}
+
+TEST(ThreadPool, SuppressedFailuresAreCountedAndNoted) {
+    // Two tasks on two threads, each waiting for the other before
+    // throwing: both failures are guaranteed recorded, so exactly one is
+    // suppressed — deterministically, unlike the fail-fast race above.
+    ThreadPool pool(2);
+    const long long before =
+        obs::counter("parallel/exceptions_suppressed").value();
+    std::atomic<int> arrived{0};
+    try {
+        pool.parallelFor(2, [&](int i) {
+            arrived.fetch_add(1);
+            // Spin: both tasks are mid-flight before either throws. The
+            // pool owner is pinned here in task 0, so the worker thread
+            // must claim task 1 — the rendezvous cannot deadlock.
+            while (arrived.load() < 2) std::this_thread::yield();
+            throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "expected the region to rethrow";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_EQ(what.rfind("task 0", 0), 0u) << what;
+        EXPECT_NE(what.find("[+1 suppressed task failure(s)"),
+                  std::string::npos)
+            << what;
+    }
+    EXPECT_EQ(obs::counter("parallel/exceptions_suppressed").value(),
+              before + 1);
 }
 
 TEST(ThreadPool, PoolSurvivesAFailedRegion) {

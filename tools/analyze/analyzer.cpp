@@ -34,6 +34,12 @@ const std::vector<RuleInfo> kCatalog = {
      "thread-identity or thread_local state outside src/parallel and src/obs"},
     {"nondet-random",
      "std::random_device or unseeded random engine outside src/gen"},
+    {"catch-all",
+     "catch (...) outside src/parallel and src/robust swallows trips and "
+     "faults"},
+    {"flow-throw",
+     "src/flow may only throw robust::StreakException; ad-hoc types bypass "
+     "the structured-error contract"},
     {"layering", "include edge not declared in the module layering DAG"},
     {"unused-suppression", "suppression marker that suppresses nothing"},
 };
@@ -112,6 +118,8 @@ struct FileContext {
     bool timingExempt = false;       // src/obs, src/parallel
     bool threadExempt = false;       // src/obs, src/parallel
     bool randomExempt = false;       // src/gen
+    bool catchAllExempt = false;     // src/parallel, src/robust
+    bool inFlow = false;             // src/flow
     const std::set<std::string>* unorderedVars = nullptr;   // this file + header
     const std::set<std::string>* unorderedFns = nullptr;    // global
 };
@@ -204,6 +212,7 @@ public:
         for (size_t i = 0; i < toks.size(); ++i) {
             if (opts_.legacyRules) runLegacyAt(toks, i);
             if (opts_.determinismRules) runDeterminismAt(toks, i);
+            if (opts_.robustnessRules) runRobustnessAt(toks, i);
         }
     }
 
@@ -333,6 +342,39 @@ private:
                             " outside src/gen; construct engines from an "
                             "explicit seed");
                 }
+            }
+        }
+    }
+
+    void runRobustnessAt(const std::vector<Token>& toks, size_t i) {
+        const Token& tok = toks[i];
+        if (tok.kind != TokKind::Identifier) return;
+
+        if (!ctx_.catchAllExempt && tok.text == "catch" &&
+            i + 2 < toks.size() && isPunct(toks[i + 1], "(") &&
+            isPunct(toks[i + 2], "...")) {
+            add(tok.line, "catch-all",
+                "catch (...) outside src/parallel and src/robust swallows "
+                "cancellation and fault trips; catch robust::StreakException "
+                "or a concrete type");
+        }
+
+        if (ctx_.inFlow && tok.text == "throw") {
+            // `throw;` rethrows the active exception unchanged — fine.
+            // Otherwise the thrown expression must mention
+            // StreakException; anything else escapes runStreak as a raw
+            // foreign exception instead of a structured StreakError.
+            if (i + 1 < toks.size() && isPunct(toks[i + 1], ";")) return;
+            bool structured = false;
+            for (size_t j = i + 1; j < toks.size() && j <= i + 6; ++j) {
+                if (isPunct(toks[j], ";") || isPunct(toks[j], "(")) break;
+                if (isIdent(toks[j], "StreakException")) structured = true;
+            }
+            if (!structured) {
+                add(tok.line, "flow-throw",
+                    "src/flow throws a non-StreakError type; raise a "
+                    "structured error (robust::StreakException) so callers "
+                    "see kind/stage/site");
             }
         }
     }
@@ -620,6 +662,9 @@ std::vector<Finding> analyze(const std::vector<SourceFile>& files,
                            startsWith(ctx.srcRel, "parallel/");
         ctx.threadExempt = ctx.timingExempt;
         ctx.randomExempt = startsWith(ctx.srcRel, "gen/");
+        ctx.catchAllExempt = startsWith(ctx.srcRel, "parallel/") ||
+                             startsWith(ctx.srcRel, "robust/");
+        ctx.inFlow = startsWith(ctx.srcRel, "flow/");
 
         std::set<std::string> vars;
         if (opts.determinismRules) {

@@ -2,9 +2,10 @@
 // analysis"). Runs two kinds of passes over lexed sources:
 //
 //  - token rules: the seven project lint rules carried over from
-//    streak_lint plus the determinism rule pack (unordered-container
+//    streak_lint, the determinism rule pack (unordered-container
 //    iteration, pointer-keyed containers, thread-identity state, raw
-//    randomness),
+//    randomness), and the robustness pack (catch-all handlers outside
+//    the infrastructure modules, ad-hoc throws in flow code),
 //  - the include-graph pass: module layering against the DAG declared in
 //    tools/analyze/layers.txt.
 //
@@ -66,6 +67,7 @@ struct LayerSpec {
 struct AnalyzerOptions {
     bool legacyRules = true;        // the seven streak_lint rules
     bool determinismRules = true;   // the determinism rule pack
+    bool robustnessRules = true;    // catch-all / flow-throw pack
     bool layering = true;           // requires `layers`
     bool unusedSuppressions = true; // report waivers that suppress nothing
     /// Marker words that introduce a suppression in a comment.

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
             opts.layering = false;
         } else if (arg == "--legacy-only") {
             opts.determinismRules = false;
+            opts.robustnessRules = false;
             opts.layering = false;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();

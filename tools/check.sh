@@ -18,6 +18,10 @@
 #                                    pack + module layering DAG over
 #                                    src/ and tools/, SARIF artifact at
 #                                    build/analyze.sarif)
+#   9. chaos + deadline drill       (fault-injection sweep under
+#                                    ASan/UBSan, then a --deadline= CLI
+#                                    run whose report must validate with
+#                                    the robust section present)
 #
 # Usage:  tools/check.sh [--full]
 #   --full   run the entire ctest suite (not just the smoke subsets)
@@ -30,12 +34,12 @@ FULL=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/8] project lint pass =="
+echo "== [1/9] project lint pass =="
 cmake --preset dev >/dev/null
 cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
 ./build/tools/streak_lint src
 
-echo "== [2/8] clang-tidy =="
+echo "== [2/9] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # The dev preset exports compile_commands.json.
     mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
@@ -44,11 +48,11 @@ else
     echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
 fi
 
-echo "== [3/8] -Werror build =="
+echo "== [3/9] -Werror build =="
 cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 
-echo "== [4/8] ASan/UBSan =="
+echo "== [4/9] ASan/UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 if [[ "$FULL" == 1 ]]; then
@@ -59,7 +63,7 @@ else
     ./build-asan/tests/flow_test
 fi
 
-echo "== [5/8] ThreadSanitizer =="
+echo "== [5/9] ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 if [[ "$FULL" == 1 ]]; then
     cmake --build --preset tsan -j "$JOBS"
@@ -73,7 +77,7 @@ else
     ./build-tsan/tests/parallel_determinism_test
 fi
 
-echo "== [6/8] observability exports =="
+echo "== [6/9] observability exports =="
 cmake --build --preset dev --target streak_cli report_check -j "$JOBS" >/dev/null
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -82,7 +86,7 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --report="$OBS_TMP/report.json" --trace="$OBS_TMP/trace.json" --quiet
 ./build/tools/report_check "$OBS_TMP/report.json" "$OBS_TMP/trace.json"
 
-echo "== [7/8] hot-path kernel bench =="
+echo "== [7/9] hot-path kernel bench =="
 cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 # Counter harness over the shrunk synth suite: before/after runs of the
 # maze-search and simplex kernels must produce identical solutions, and
@@ -92,7 +96,7 @@ cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 STREAK_BENCH_JSON="$OBS_TMP/bench.json" ./build/bench/micro_kernels --report
 ./build/tools/report_check --bench "$OBS_TMP/bench.json"
 
-echo "== [8/8] static analysis =="
+echo "== [8/9] static analysis =="
 # Full rule set: the seven lint rules, the determinism pack, and the
 # module layering DAG (tools/analyze/layers.txt), with waiver-rot
 # checking. The SARIF artifact is written even on a clean run so CI
@@ -102,5 +106,21 @@ cmake --build --preset dev --target streak_analyze -j "$JOBS" >/dev/null
     --layers tools/analyze/layers.txt \
     --sarif build/analyze.sarif \
     src tools
+
+echo "== [9/9] chaos + deadline drill =="
+# Fault-tolerance contract (DESIGN.md "Robustness"): sweep every
+# cataloged fault site across the shrunk synth suites under ASan/UBSan —
+# every run must end in an audited solution or a structured StreakError,
+# never a crash. robust_test covers the deadline/cancellation plumbing.
+cmake --build --preset asan-ubsan -j "$JOBS" \
+    --target chaos_test robust_test >/dev/null
+./build-asan/tests/chaos_test
+./build-asan/tests/robust_test
+# Deadline drill: a generous budget must change nothing, and the JSON
+# run report must carry the robust section (deadline, degradations) that
+# report_check validates.
+./build/tools/streak route "$OBS_TMP/synth1.streak" \
+    --deadline=60 --report="$OBS_TMP/deadline.json" --quiet
+./build/tools/report_check "$OBS_TMP/deadline.json"
 
 echo "check.sh: all stages passed"

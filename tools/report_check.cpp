@@ -116,6 +116,24 @@ void checkReport(const std::string& path) {
     requireField(doc, "design", Kind::Object, path);
     requireField(doc, "options", Kind::Object, path);
     requireField(doc, "metrics", Kind::Object, path);
+    const Value* robust = requireField(doc, "robust", Kind::Object, path);
+    if (robust != nullptr) {
+        requireField(*robust, "deadlineSeconds", Kind::Number,
+                     path + ":robust");
+        requireField(*robust, "degraded", Kind::Bool, path + ":robust");
+        const Value* rungs = requireField(*robust, "degradations",
+                                          Kind::Array, path + ":robust");
+        if (rungs != nullptr) {
+            for (size_t i = 0; i < rungs->asArray().size(); ++i) {
+                const std::string where =
+                    path + ":robust/degradation[" + std::to_string(i) + "]";
+                const Value& rung = rungs->asArray()[i];
+                requireField(rung, "stage", Kind::String, where);
+                requireField(rung, "rung", Kind::String, where);
+                requireField(rung, "message", Kind::String, where);
+            }
+        }
+    }
     requireField(doc, "counters", Kind::Object, path);
     requireField(doc, "histograms", Kind::Object, path);
     const Value* spans = requireField(doc, "spans", Kind::Array, path);

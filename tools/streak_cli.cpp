@@ -19,11 +19,19 @@
 //                          instrumentation for the run
 //   --trace=<file.json>    write a chrome://tracing / Perfetto trace of
 //                          the run's span tree; also turns on detail
+//   --deadline=<sec>       wall-clock budget for the whole run; on expiry
+//                          the flow degrades (cheaper engine / partial
+//                          solution) or fails with exit code 4
 //   --quiet                only the summary line
 //
 // The stage table's "speedup" column estimates per-stage parallel
 // speedup (task seconds / wall seconds); it is printed only when the
 // run used more than one thread.
+//
+// Exit codes: 0 success (possibly degraded), 1 unexpected error, 2 bad
+// usage, 3 invalid input, 4 deadline expired, 5 cancelled, 6 injected
+// fault, 7 internal error. Fault-injection builds honor the STREAK_FAULT
+// environment variable ("site" or "site:hit", see robust/fault.hpp).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,6 +47,8 @@
 #include "io/svg.hpp"
 #include "io/table.hpp"
 #include "obs/chrome_trace.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
 
 namespace {
 
@@ -52,11 +62,13 @@ int usage() {
                  " [--ilp-limit=SEC] [--threads=N] [--no-post]"
                  " [--no-clustering] [--no-refinement] [--backbones=K]"
                  " [--heatmap=FILE] [--report=FILE.json] [--trace=FILE.json]"
-                 " [--quiet]\n"
+                 " [--deadline=SEC] [--quiet]\n"
               << "\n"
                  "route prints a per-stage table; its speedup column"
                  " (task seconds / wall seconds) appears only for"
-                 " multi-threaded runs.\n";
+                 " multi-threaded runs.\n"
+                 "exit codes: 0 ok, 1 unexpected, 2 usage, 3 invalid input,"
+                 " 4 deadline, 5 cancelled, 6 injected fault, 7 internal.\n";
     return 2;
 }
 
@@ -141,6 +153,8 @@ int cmdRoute(int argc, char** argv) {
             reportPath = value("--report=");
         } else if (arg.rfind("--trace=", 0) == 0) {
             tracePath = value("--trace=");
+        } else if (arg.rfind("--deadline=", 0) == 0) {
+            opts.deadlineSeconds = std::atof(value("--deadline=").c_str());
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -156,8 +170,17 @@ int cmdRoute(int argc, char** argv) {
     }
 
     const Design d = io::readDesignFile(path);
-    const StreakResult r = runStreak(d, opts);
+    const FlowResult flow = runStreak(d, opts);
+    if (!flow.ok()) {
+        std::cerr << "streak: " << flow.error().describe() << '\n';
+        return robust::exitCodeFor(flow.error().kind);
+    }
+    const StreakResult& r = flow.value();
 
+    for (const robust::Degradation& deg : r.degradations) {
+        std::cerr << "streak: degraded: " << deg.rung << " at " << deg.stage
+                  << " (" << deg.message << ")\n";
+    }
     std::cout << "routed " << r.metrics.routedBits << "/"
               << r.metrics.totalBits << " ("
               << io::Table::percent(r.metrics.routability) << "), WL "
@@ -247,10 +270,16 @@ int cmdRoute(int argc, char** argv) {
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
+    streak::robust::armFaultFromEnv();
     try {
         if (cmd == "generate") return cmdGenerate(argc, argv);
         if (cmd == "info") return cmdInfo(argc, argv);
         if (cmd == "route") return cmdRoute(argc, argv);
+    } catch (const streak::robust::StreakException& e) {
+        // Structured failures outside runStreak (e.g. reading the design
+        // file) still map to their distinct exit codes.
+        std::cerr << "streak: " << e.error().describe() << '\n';
+        return streak::robust::exitCodeFor(e.error().kind);
     } catch (const std::exception& e) {
         std::cerr << "streak: " << e.what() << '\n';
         return 1;
