@@ -249,6 +249,9 @@ StreakResult runStreakGuarded(const Design& design,
             before.clear();
             result.distanceViolationsBefore = 0;
             result.distanceViolationsAfter = 0;
+            result.groupDistanceBefore.assign(
+                static_cast<size_t>(design.numGroups()), 0);
+            result.groupDistanceAfter = result.groupDistanceBefore;
         };
         if (deadlineSpent) {
             skipRung(robust::Ticket::tripError(robust::Trip::DeadlineExpired,
@@ -261,6 +264,13 @@ StreakResult runStreakGuarded(const Design& design,
                                       &stats);
             result.distanceViolationsBefore = countViolatingGroups(before);
             result.distanceViolationsAfter = result.distanceViolationsBefore;
+            result.groupDistanceBefore.assign(
+                static_cast<size_t>(design.numGroups()), 0);
+            for (const GroupDistanceReport& r : before) {
+                result.groupDistanceBefore[static_cast<size_t>(
+                    r.groupIndex)] = r.violating() ? 1 : 0;
+            }
+            result.groupDistanceAfter = result.groupDistanceBefore;
         } catch (const robust::StreakException& e) {
             // Rung: the analysis is diagnostic — skip it rather than
             // fail a run that already has a routed solution.
@@ -285,6 +295,7 @@ StreakResult runStreakGuarded(const Design& design,
             // in place, and a half-applied post pass is worse than none.
             const RoutedDesign prePost = result.routed;
             const int prePostViolations = result.distanceViolationsAfter;
+            const std::vector<char> prePostFlags = result.groupDistanceAfter;
             try {
                 if (opts.clusteringEnabled) {
                     post::clusterAndRoute(result.problem, &result.routed);
@@ -295,6 +306,7 @@ StreakResult runStreakGuarded(const Design& design,
                     const post::RefinementResult ref =
                         post::refineDistances(result.problem, &result.routed);
                     result.distanceViolationsAfter = ref.violatingGroupsAfter;
+                    result.groupDistanceAfter = ref.groupViolatingAfter;
                     stats.merge(ref.parallelStats);
                 } else {
                     // Clustering may add bits; re-evaluate with the initial
@@ -309,6 +321,12 @@ StreakResult runStreakGuarded(const Design& design,
                         opts.distanceThresholdFraction, &thresholds, &stats);
                     result.distanceViolationsAfter =
                         countViolatingGroups(after);
+                    result.groupDistanceAfter.assign(
+                        static_cast<size_t>(design.numGroups()), 0);
+                    for (const GroupDistanceReport& r : after) {
+                        result.groupDistanceAfter[static_cast<size_t>(
+                            r.groupIndex)] = r.violating() ? 1 : 0;
+                    }
                 }
             } catch (const robust::StreakException& e) {
                 // Rung: restore the last valid solution.
@@ -321,6 +339,7 @@ StreakResult runStreakGuarded(const Design& design,
                 absorbedDeadline(e.error());
                 result.routed = prePost;
                 result.distanceViolationsAfter = prePostViolations;
+                result.groupDistanceAfter = prePostFlags;
             }
         }
         annotateStage(&span, stats);

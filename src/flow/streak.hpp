@@ -71,6 +71,14 @@ struct StreakResult {
     int distanceViolationsBefore = 0;
     int distanceViolationsAfter = 0;
 
+    /// Group-indexed Vio(dst) flags (1 = violating) backing the counts
+    /// above; "after" tracks the post stage exactly like
+    /// distanceViolationsAfter (rollback restores the pre-post flags,
+    /// a skipped analysis leaves all groups clean). The incremental-ECO
+    /// stitcher carries untouched groups' flags over verbatim.
+    std::vector<char> groupDistanceBefore;
+    std::vector<char> groupDistanceAfter;
+
     bool hitTimeLimit = false;
     int pdIterations = 0;
     long ilpNodes = 0;

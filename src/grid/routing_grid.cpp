@@ -6,7 +6,8 @@ namespace streak::grid {
 
 RoutingGrid::RoutingGrid(int width, int height, int numLayers,
                          int defaultCapacity)
-    : width_(width), height_(height), numLayers_(numLayers) {
+    : width_(width), height_(height), numLayers_(numLayers),
+      defaultCapacity_(defaultCapacity) {
     if (width < 2 || height < 2) {
         throw std::invalid_argument("RoutingGrid: need at least 2x2 G-Cells");
     }
@@ -37,6 +38,15 @@ void RoutingGrid::setViaCapacity(int capacity) {
     viaCapacity_.assign(static_cast<size_t>(numCells()), capacity);
 }
 
+void RoutingGrid::setViaCapacityAt(int cell, int capacity) {
+    if (viaCapacity_.empty()) {
+        throw std::logic_error(
+            "setViaCapacityAt: enable the via model with setViaCapacity "
+            "first");
+    }
+    viaCapacity_[static_cast<size_t>(cell)] = capacity;
+}
+
 void RoutingGrid::addViaBlockage(const geom::Rect& area,
                                  int remainingCapacity) {
     if (viaCapacity_.empty()) {
@@ -61,6 +71,21 @@ void RoutingGrid::addBlockage(const geom::Rect& area, int layer,
                 if (capacity_[e] > remainingCapacity) {
                     capacity_[e] = remainingCapacity;
                 }
+            }
+        }
+    }
+}
+
+void RoutingGrid::removeBlockage(const geom::Rect& area, int layer) {
+    resizeCapacity(area, layer, defaultCapacity_);
+}
+
+void RoutingGrid::resizeCapacity(const geom::Rect& area, int layer,
+                                 int capacity) {
+    for (int y = area.lo.y; y <= area.hi.y; ++y) {
+        for (int x = area.lo.x; x <= area.hi.x; ++x) {
+            if (validEdge(layer, x, y)) {
+                capacity_[edgeId(layer, x, y)] = capacity;
             }
         }
     }

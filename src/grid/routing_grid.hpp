@@ -69,9 +69,22 @@ public:
     [[nodiscard]] int capacity(int edge) const { return capacity_[edge]; }
     void setCapacity(int edge, int cap) { capacity_[edge] = cap; }
 
+    /// Track capacity every edge starts with at construction time (the
+    /// value blockage removal restores).
+    [[nodiscard]] int defaultCapacity() const { return defaultCapacity_; }
+
     /// Reduce the capacity of every edge on `layer` whose *source* G-Cell
     /// lies inside `area` to `remainingCapacity` (a routing blockage).
     void addBlockage(const geom::Rect& area, int layer, int remainingCapacity);
+
+    /// Restore every edge on `layer` whose source G-Cell lies inside
+    /// `area` to the construction default capacity (the ECO undo of
+    /// addBlockage; overlapping blockages inside `area` are lifted too).
+    void removeBlockage(const geom::Rect& area, int layer);
+
+    /// Set every edge on `layer` whose source G-Cell lies inside `area`
+    /// to exactly `capacity` (ECO capacity resize; may raise or lower).
+    void resizeCapacity(const geom::Rect& area, int layer, int capacity);
 
     // --- pin accessibility (via capacity) model -------------------------
     // Every G-Cell column offers a bounded number of via slots for pin
@@ -97,6 +110,9 @@ public:
     void setViaCapacity(int capacity);
     /// Dent the via capacity inside `area` (e.g. over a macro).
     void addViaBlockage(const geom::Rect& area, int remainingCapacity);
+    /// Set one cell's via capacity exactly (checkpoint restore). The via
+    /// model must already be enabled with setViaCapacity().
+    void setViaCapacityAt(int cell, int capacity);
 
     /// Edge ids covered by a rectilinear segment routed on `layer`.
     /// The segment orientation must match the layer direction (degenerate
@@ -121,6 +137,7 @@ private:
     int width_;
     int height_;
     int numLayers_;
+    int defaultCapacity_ = 0;
     std::vector<Dir> layerDir_;
     std::vector<int> layerOffset_;  // first edge id of each layer
     std::vector<int> capacity_;

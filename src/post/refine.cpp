@@ -370,6 +370,11 @@ RefinementResult refineDistances(const RoutingProblem& prob,
         analyzeDistances(prob, *routed, opts.distanceThresholdFraction,
                          &result.thresholds, &result.parallelStats);
     result.violatingGroupsAfter = countViolatingGroups(after);
+    result.groupViolatingAfter.assign(after.size(), 0);
+    for (const GroupDistanceReport& r : after) {
+        result.groupViolatingAfter[static_cast<size_t>(r.groupIndex)] =
+            r.violating() ? 1 : 0;
+    }
     return result;
 }
 

@@ -23,6 +23,10 @@ struct RefinementResult {
     long addedWirelength = 0;
     /// Initial per-group thresholds (reused for the "after" analysis).
     std::vector<int> thresholds;
+    /// Group-indexed violation flags of the "after" analysis (1 = the
+    /// group still violates). The incremental-ECO stitcher sums carried
+    /// and re-solved groups from these instead of the aggregate count.
+    std::vector<char> groupViolatingAfter;
     /// Stats of the parallel distance analyses and detour waves.
     parallel::RegionStats parallelStats;
 };

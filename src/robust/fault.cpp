@@ -36,6 +36,7 @@ const std::vector<std::string>& faultSiteCatalog() {
         "build/candidates",  // core/problem.cpp per-object expansion task
         "build/pairs",       // core/problem.cpp per-group pair blocks
         "distance/analyze",  // core/distance.cpp analysis entry
+        "eco/read",          // eco/checkpoint.cpp + eco/delta.cpp parsers
         "ilp/solve",         // core/ilp_router.cpp per-component solve
         "io/read",           // io/design_io.cpp parse entry
         "lp/solve",          // ilp/lp.cpp simplex solve entry

@@ -10,9 +10,11 @@
 #include <string>
 
 #include "check/audit.hpp"
+#include "flow/report.hpp"
 #include "flow/streak.hpp"
 #include "gen/generator.hpp"
 #include "io/design_io.hpp"
+#include "obs/json.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 
@@ -140,6 +142,111 @@ TEST_F(ChaosSweep, RecoveryPolicyOffTurnsTheRungIntoAnError)
     ASSERT_FALSE(res.ok());
     EXPECT_EQ(res.error().kind, robust::ErrorKind::FaultInjected);
     EXPECT_EQ(res.error().stage, stage::kSolve);
+}
+
+/// The rung strings the run report's "robust" section lists for a run.
+std::set<std::string> reportedRungs(const Design& d,
+                                    const StreakOptions& opts,
+                                    const StreakResult& r) {
+    const obs::json::Value report = flow::buildRunReport(d, opts, r);
+    const obs::json::Value* robustSec = report.find("robust");
+    EXPECT_NE(robustSec, nullptr);
+    std::set<std::string> rungs;
+    if (robustSec == nullptr) return rungs;
+    EXPECT_TRUE(robustSec->find("degraded")->asBool());
+    for (const obs::json::Value& deg :
+         robustSec->find("degradations")->asArray()) {
+        EXPECT_FALSE(deg.find("stage")->asString().empty());
+        EXPECT_FALSE(deg.find("message")->asString().empty());
+        rungs.insert(deg.find("rung")->asString());
+    }
+    return rungs;
+}
+
+TEST_F(ChaosSweep, PostRefineFaultTakesTheRollbackRung) {
+    // Force the ladder's last rung: a fault inside the refinement wave
+    // loop must restore the pre-post routing, record post.rolled_back,
+    // surface it in the report's robust section — and still audit clean.
+    bool rungSeen = false;
+    for (int suite = 1; suite <= 7 && !rungSeen; ++suite) {
+        robust::armFault("post/refine", /*hitIndex=*/0);
+        const Design d = gen::generate(chaosSpec(suite));
+        StreakOptions opts;
+        opts.postOptimize = true;
+        const FlowResult res = runStreak(d, opts);
+        ASSERT_TRUE(res.ok()) << res.error().describe();
+        const StreakResult& r = res.value();
+        for (const robust::Degradation& deg : r.degradations) {
+            if (deg.rung != "post.rolled_back") continue;
+            rungSeen = true;
+            EXPECT_EQ(deg.stage, stage::kPost);
+            EXPECT_TRUE(reportedRungs(d, opts, r).contains(
+                "post.rolled_back"));
+            const check::AuditResult audit =
+                check::auditRoutedDesign(r.problem, r.routed);
+            EXPECT_TRUE(audit.ok()) << audit.summary();
+            // Rolled-back output is the pre-post routing, so the distance
+            // flags must be internally consistent with the counters.
+            int flagged = 0;
+            for (const char f : r.groupDistanceAfter) flagged += f != 0;
+            EXPECT_EQ(flagged, r.distanceViolationsAfter);
+        }
+        robust::disarmFaults();
+    }
+    // The refinement loop only runs when some suite has violations to
+    // refine; the shrunk suites are built so at least one does.
+    EXPECT_TRUE(rungSeen) << "no suite reached the refinement wave loop";
+}
+
+TEST_F(ChaosSweep, PostRollbackPolicyOffTurnsTheFaultIntoExitCode6) {
+    bool errorSeen = false;
+    for (int suite = 1; suite <= 7 && !errorSeen; ++suite) {
+        robust::armFault("post/refine", /*hitIndex=*/0);
+        const Design d = gen::generate(chaosSpec(suite));
+        StreakOptions opts;
+        opts.postOptimize = true;
+        opts.recovery.postRollback = false;
+        const FlowResult res = runStreak(d, opts);
+        if (!res.ok()) {
+            errorSeen = true;
+            EXPECT_EQ(res.error().kind, robust::ErrorKind::FaultInjected);
+            EXPECT_EQ(res.error().stage, stage::kPost);
+            EXPECT_EQ(robust::exitCodeFor(res.error().kind), 6);
+        }
+        robust::disarmFaults();
+    }
+    EXPECT_TRUE(errorSeen) << "no suite reached the refinement wave loop";
+}
+
+TEST_F(ChaosSweep, DistanceFaultTakesTheSkipRung) {
+    robust::armFault("distance/analyze", /*hitIndex=*/0);
+    const Design d = gen::generate(chaosSpec(2));
+    StreakOptions opts;
+    opts.postOptimize = true;
+    const FlowResult res = runStreak(d, opts);
+    ASSERT_TRUE(res.ok()) << res.error().describe();
+    const StreakResult& r = res.value();
+    ASSERT_TRUE(r.degraded());
+    EXPECT_TRUE(reportedRungs(d, opts, r).contains("distance.skipped"));
+    // The skipped stage reports zero violations and all-clean flags
+    // sized to the design, not empty vectors.
+    EXPECT_EQ(r.distanceViolationsBefore, 0);
+    EXPECT_EQ(r.distanceViolationsAfter, 0);
+    EXPECT_EQ(r.groupDistanceAfter.size(),
+              static_cast<size_t>(d.numGroups()));
+}
+
+TEST_F(ChaosSweep, DistanceSkipPolicyOffTurnsTheFaultIntoExitCode6) {
+    robust::armFault("distance/analyze", /*hitIndex=*/0);
+    const Design d = gen::generate(chaosSpec(2));
+    StreakOptions opts;
+    opts.postOptimize = true;
+    opts.recovery.distanceSkipOnFailure = false;
+    const FlowResult res = runStreak(d, opts);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().kind, robust::ErrorKind::FaultInjected);
+    EXPECT_EQ(res.error().stage, stage::kDistance);
+    EXPECT_EQ(robust::exitCodeFor(res.error().kind), 6);
 }
 
 TEST(ChaosDeadline, ImmediateDeadlineFailsStructurally) {

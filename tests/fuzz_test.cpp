@@ -1,16 +1,21 @@
 // Randomized end-to-end property sweep: random suite specs through the
 // whole flow, asserting every invariant that must hold regardless of the
 // design (capacity legality, accounting, bounds, determinism, IO round
-// trips, track assignment legality).
+// trips, track assignment legality) — plus hostile-input fuzzing of the
+// ECO checkpoint reader (truncation, bit flips, version skew).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
 #include <sstream>
+#include <string>
 
 #include "core/validate.hpp"
+#include "eco/checkpoint.hpp"
 #include "flow/streak.hpp"
 #include "gen/generator.hpp"
 #include "io/design_io.hpp"
+#include "robust/error.hpp"
 #include "track/tracks.hpp"
 
 namespace streak {
@@ -122,6 +127,112 @@ TEST_P(FlowFuzz, TrackAssignmentLegal) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowFuzz, ::testing::Range(1u, 13u));
+
+// ----------------------------------------------- checkpoint reader fuzz
+//
+// The ECO checkpoint reader's contract (eco/checkpoint.hpp): any
+// malformed buffer — truncated, bit-flipped, version-skewed, garbage —
+// produces a structured robust::StreakError, never a crash or UB.
+// check.sh stage 10 reruns this block under ASan/UBSan.
+
+/// A deliberately tiny routed checkpoint so exhaustive per-byte fuzzing
+/// stays cheap; built once per process.
+const std::string& tinyCheckpointBuffer() {
+    static const std::string buffer = [] {
+        gen::SuiteSpec spec;
+        spec.name = "ckptfuzz";
+        spec.gridWidth = 12;
+        spec.gridHeight = 12;
+        spec.numLayers = 2;
+        spec.numGroups = 2;
+        spec.minGroupWidth = 2;
+        spec.maxGroupWidth = 3;
+        spec.numBlockages = 1;
+        const Design d = gen::generate(spec);
+        StreakOptions opts;
+        const StreakResult r = runStreak(d, opts).value();
+        std::ostringstream os;
+        eco::writeCheckpoint(eco::makeCheckpoint(d, opts, r), os);
+        return os.str();
+    }();
+    return buffer;
+}
+
+/// True when the reader rejected the buffer with the structured
+/// invalid-input error; any other exception type propagates and fails
+/// the test (that would be the reader breaking its contract).
+bool rejectsStructurally(const std::string& buf) {
+    try {
+        (void)eco::readCheckpointBuffer(buf);
+        return false;
+    } catch (const robust::StreakException& e) {
+        EXPECT_EQ(e.error().kind, robust::ErrorKind::InvalidInput)
+            << e.error().describe();
+        EXPECT_FALSE(e.error().message.empty());
+        return true;
+    }
+}
+
+TEST(CheckpointFuzz, IntactBufferParses) {
+    const std::string& buf = tinyCheckpointBuffer();
+    const eco::Checkpoint back = eco::readCheckpointBuffer(buf);
+    EXPECT_GT(back.bits.size(), 0u);
+}
+
+TEST(CheckpointFuzz, EveryTruncationIsRejectedStructurally) {
+    const std::string& buf = tinyCheckpointBuffer();
+    for (size_t len = 0; len < buf.size(); ++len) {
+        EXPECT_TRUE(rejectsStructurally(buf.substr(0, len)))
+            << "prefix of " << len << " bytes parsed";
+    }
+}
+
+TEST(CheckpointFuzz, EveryBitFlipIsRejectedStructurally) {
+    // The trailing checksum covers every byte before it, so a single
+    // flipped bit anywhere — header, payload or the checksum itself —
+    // must surface as one structured error.
+    const std::string& buf = tinyCheckpointBuffer();
+    for (size_t i = 0; i < buf.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutant = buf;
+            mutant[i] = static_cast<char>(
+                static_cast<unsigned char>(mutant[i]) ^ (1u << bit));
+            EXPECT_TRUE(rejectsStructurally(mutant))
+                << "flip of byte " << i << " bit " << bit << " parsed";
+        }
+    }
+}
+
+TEST(CheckpointFuzz, VersionSkewIsRejectedEvenWithAValidChecksum) {
+    // Patch the u32 format version (offset 8, little-endian) and repair
+    // the trailing FNV-1a so the rejection is the version check itself,
+    // not a checksum side effect.
+    std::string buf = tinyCheckpointBuffer();
+    ASSERT_GT(buf.size(), 16u);
+    buf[8] = static_cast<char>(eco::kCheckpointVersion + 1);
+    std::uint64_t h = 14695981039346656037ull;
+    for (size_t i = 0; i + 8 < buf.size(); ++i) {
+        h ^= static_cast<unsigned char>(buf[i]);
+        h *= 1099511628211ull;
+    }
+    for (int i = 0; i < 8; ++i) {
+        buf[buf.size() - 8 + static_cast<size_t>(i)] =
+            static_cast<char>((h >> (8 * i)) & 0xffu);
+    }
+    EXPECT_TRUE(rejectsStructurally(buf));
+}
+
+TEST(CheckpointFuzz, GarbageBuffersAreRejectedStructurally) {
+    EXPECT_TRUE(rejectsStructurally(""));
+    EXPECT_TRUE(rejectsStructurally("STRKECO\n"));
+    EXPECT_TRUE(rejectsStructurally("not a checkpoint at all"));
+    std::mt19937 rng(7u);
+    for (const size_t len : {16u, 64u, 1024u, 9000u}) {
+        std::string junk(len, '\0');
+        for (char& c : junk) c = static_cast<char>(rng() & 0xffu);
+        EXPECT_TRUE(rejectsStructurally(junk)) << len << " random bytes";
+    }
+}
 
 }  // namespace
 }  // namespace streak

@@ -22,6 +22,13 @@
 #                                    ASan/UBSan, then a --deadline= CLI
 #                                    run whose report must validate with
 #                                    the robust section present)
+#  10. incremental ECO drill        (eco_test differential equivalence
+#                                    suite, checkpoint-reader fuzz under
+#                                    ASan/UBSan, then a checkpoint ->
+#                                    delta -> `streak eco --cold-check`
+#                                    CLI run whose report must validate
+#                                    and re-solve strictly fewer groups
+#                                    than a cold re-route)
 #
 # Usage:  tools/check.sh [--full]
 #   --full   run the entire ctest suite (not just the smoke subsets)
@@ -34,12 +41,12 @@ FULL=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/9] project lint pass =="
+echo "== [1/10] project lint pass =="
 cmake --preset dev >/dev/null
 cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
 ./build/tools/streak_lint src
 
-echo "== [2/9] clang-tidy =="
+echo "== [2/10] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # The dev preset exports compile_commands.json.
     mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
@@ -48,11 +55,11 @@ else
     echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
 fi
 
-echo "== [3/9] -Werror build =="
+echo "== [3/10] -Werror build =="
 cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 
-echo "== [4/9] ASan/UBSan =="
+echo "== [4/10] ASan/UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 if [[ "$FULL" == 1 ]]; then
@@ -63,7 +70,7 @@ else
     ./build-asan/tests/flow_test
 fi
 
-echo "== [5/9] ThreadSanitizer =="
+echo "== [5/10] ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 if [[ "$FULL" == 1 ]]; then
     cmake --build --preset tsan -j "$JOBS"
@@ -77,7 +84,7 @@ else
     ./build-tsan/tests/parallel_determinism_test
 fi
 
-echo "== [6/9] observability exports =="
+echo "== [6/10] observability exports =="
 cmake --build --preset dev --target streak_cli report_check -j "$JOBS" >/dev/null
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -86,7 +93,7 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --report="$OBS_TMP/report.json" --trace="$OBS_TMP/trace.json" --quiet
 ./build/tools/report_check "$OBS_TMP/report.json" "$OBS_TMP/trace.json"
 
-echo "== [7/9] hot-path kernel bench =="
+echo "== [7/10] hot-path kernel bench =="
 cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 # Counter harness over the shrunk synth suite: before/after runs of the
 # maze-search and simplex kernels must produce identical solutions, and
@@ -96,7 +103,7 @@ cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 STREAK_BENCH_JSON="$OBS_TMP/bench.json" ./build/bench/micro_kernels --report
 ./build/tools/report_check --bench "$OBS_TMP/bench.json"
 
-echo "== [8/9] static analysis =="
+echo "== [8/10] static analysis =="
 # Full rule set: the seven lint rules, the determinism pack, and the
 # module layering DAG (tools/analyze/layers.txt), with waiver-rot
 # checking. The SARIF artifact is written even on a clean run so CI
@@ -107,7 +114,7 @@ cmake --build --preset dev --target streak_analyze -j "$JOBS" >/dev/null
     --sarif build/analyze.sarif \
     src tools
 
-echo "== [9/9] chaos + deadline drill =="
+echo "== [9/10] chaos + deadline drill =="
 # Fault-tolerance contract (DESIGN.md "Robustness"): sweep every
 # cataloged fault site across the shrunk synth suites under ASan/UBSan —
 # every run must end in an audited solution or a structured StreakError,
@@ -122,5 +129,38 @@ cmake --build --preset asan-ubsan -j "$JOBS" \
 ./build/tools/streak route "$OBS_TMP/synth1.streak" \
     --deadline=60 --report="$OBS_TMP/deadline.json" --quiet
 ./build/tools/report_check "$OBS_TMP/deadline.json"
+
+echo "== [10/10] incremental ECO drill =="
+# Differential equivalence contract (DESIGN.md "Incremental ECO"): an
+# incremental re-route of the affected-group closure is byte-identical
+# to a from-scratch re-route of the mutated design.
+cmake --build --preset dev --target eco_test -j "$JOBS" >/dev/null
+./build/tests/eco_test
+# Checkpoint-reader fuzz (truncation / bit flips / version skew) under
+# the sanitizers: hostile input must fail structurally, never with UB.
+cmake --build --preset asan-ubsan -j "$JOBS" --target fuzz_test >/dev/null
+./build-asan/tests/fuzz_test --gtest_filter='CheckpointFuzz.*'
+# CLI drill: checkpoint a routed suite, apply a one-pin ECO, verify the
+# incremental result against a cold re-route, validate the report, and
+# require the closure to be a strict subset of the design's groups.
+./build/tools/streak generate 4 "$OBS_TMP/synth4.streak" >/dev/null
+./build/tools/streak route "$OBS_TMP/synth4.streak" --no-post \
+    --checkpoint="$OBS_TMP/synth4.ckpt" --quiet >/dev/null
+PIN=$(grep -m1 '^PIN' "$OBS_TMP/synth4.streak")
+printf 'MOVEPIN 0 0 0 %d %d\n' \
+    "$(($(echo "$PIN" | cut -d' ' -f2) + 1))" \
+    "$(echo "$PIN" | cut -d' ' -f3)" > "$OBS_TMP/fix.eco"
+./build/tools/streak eco "$OBS_TMP/synth4.ckpt" \
+    --deltas="$OBS_TMP/fix.eco" --cold-check \
+    --report="$OBS_TMP/eco.json" | tee "$OBS_TMP/eco.out"
+./build/tools/report_check "$OBS_TMP/eco.json"
+grep -q 'byte-identical' "$OBS_TMP/eco.out"
+read -r RESOLVED TOTAL < <(sed -n \
+    's|^eco: re-solved \([0-9]*\)/\([0-9]*\) .*|\1 \2|p' "$OBS_TMP/eco.out")
+if [[ "$RESOLVED" -ge "$TOTAL" ]]; then
+    echo "check.sh: eco resolved $RESOLVED/$TOTAL groups (expected a" \
+         "strict subset for a single-pin move)" >&2
+    exit 1
+fi
 
 echo "check.sh: all stages passed"

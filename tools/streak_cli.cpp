@@ -3,6 +3,7 @@
 //   streak generate <suite 1-7|spec> <out.streak>   write a benchmark
 //   streak info     <design.streak>                 print design stats
 //   streak route    <design.streak> [options]       route and report
+//   streak eco      <ckpt.streakeco> [options]      incremental re-route
 //
 // route options:
 //   --solver=pd|ilp        selection engine (default pd)
@@ -22,7 +23,25 @@
 //   --deadline=<sec>       wall-clock budget for the whole run; on expiry
 //                          the flow degrades (cheaper engine / partial
 //                          solution) or fails with exit code 4
+//   --checkpoint=<file>    freeze the routed state (design, options,
+//                          topologies, usage) for later `streak eco`
 //   --quiet                only the summary line
+//
+// eco options:
+//   --deltas=<file>        delta script to apply (required); directives
+//                          MOVEPIN / ADDBLOCKAGE / REMOVEBLOCKAGE /
+//                          RESIZECAPACITY, '#' comments
+//   --threads=<n>          override the checkpoint's thread count (the
+//                          result is identical for every value)
+//   --cold                 also re-route the mutated design from scratch
+//                          and report incremental-vs-cold timing
+//   --cold-check           with --cold: verify the incremental result is
+//                          byte-identical to the cold one (exit 1 if not)
+//   --report=<file.json>   write the run report (streak-run-report schema
+//                          plus an "eco" section)
+//   --save=<file>          checkpoint the stitched result, so another
+//                          delta batch can chain on top
+//   --quiet                only the summary lines
 //
 // The stage table's "speedup" column estimates per-stage parallel
 // speedup (task seconds / wall seconds); it is printed only when the
@@ -38,6 +57,9 @@
 #include <string>
 #include <vector>
 
+#include "eco/checkpoint.hpp"
+#include "eco/delta.hpp"
+#include "eco/eco.hpp"
 #include "flow/report.hpp"
 #include "flow/streak.hpp"
 #include "gen/generator.hpp"
@@ -47,6 +69,7 @@
 #include "io/svg.hpp"
 #include "io/table.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 
@@ -62,7 +85,10 @@ int usage() {
                  " [--ilp-limit=SEC] [--threads=N] [--no-post]"
                  " [--no-clustering] [--no-refinement] [--backbones=K]"
                  " [--heatmap=FILE] [--report=FILE.json] [--trace=FILE.json]"
-                 " [--deadline=SEC] [--quiet]\n"
+                 " [--deadline=SEC] [--checkpoint=FILE] [--quiet]\n"
+              << "  streak eco <ckpt> --deltas=FILE [--threads=N] [--cold]"
+                 " [--cold-check] [--report=FILE.json] [--save=FILE]"
+                 " [--quiet]\n"
               << "\n"
                  "route prints a per-stage table; its speedup column"
                  " (task seconds / wall seconds) appears only for"
@@ -120,6 +146,7 @@ int cmdRoute(int argc, char** argv) {
     std::string svgPath;
     std::string reportPath;
     std::string tracePath;
+    std::string checkpointPath;
     bool quiet = false;
     for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -155,6 +182,8 @@ int cmdRoute(int argc, char** argv) {
             tracePath = value("--trace=");
         } else if (arg.rfind("--deadline=", 0) == 0) {
             opts.deadlineSeconds = std::atof(value("--deadline=").c_str());
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            checkpointPath = value("--checkpoint=");
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -262,6 +291,132 @@ int cmdRoute(int argc, char** argv) {
         io::writeSvg(r.routed, os);
         if (!quiet) std::cout << "wrote " << svgPath << '\n';
     }
+    if (!checkpointPath.empty()) {
+        eco::writeCheckpointFile(eco::makeCheckpoint(d, opts, r),
+                                 checkpointPath);
+        if (!quiet) std::cout << "wrote " << checkpointPath << '\n';
+    }
+    return 0;
+}
+
+int cmdEco(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string ckptPath = argv[2];
+    std::string deltasPath;
+    std::string reportPath;
+    std::string savePath;
+    int threads = -1;
+    bool cold = false;
+    bool coldCheck = false;
+    bool quiet = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--deltas=", 0) == 0) {
+            deltasPath = value("--deltas=");
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::atoi(value("--threads=").c_str());
+        } else if (arg == "--cold") {
+            cold = true;
+        } else if (arg == "--cold-check") {
+            cold = true;
+            coldCheck = true;
+        } else if (arg.rfind("--report=", 0) == 0) {
+            reportPath = value("--report=");
+        } else if (arg.rfind("--save=", 0) == 0) {
+            savePath = value("--save=");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::cerr << "streak: unknown option " << arg << '\n';
+            return 2;
+        }
+    }
+    if (deltasPath.empty()) {
+        std::cerr << "streak: eco needs --deltas=FILE\n";
+        return 2;
+    }
+
+    const eco::Checkpoint ckpt = eco::readCheckpointFile(ckptPath);
+    const std::vector<eco::Delta> deltas =
+        eco::parseDeltaScriptFile(deltasPath);
+    if (!quiet) {
+        std::cout << "loaded " << ckptPath << " ("
+                  << ckpt.design->numGroups() << " groups, "
+                  << ckpt.design->numNets() << " nets), " << deltas.size()
+                  << " delta" << (deltas.size() == 1 ? "" : "s") << '\n';
+    }
+
+    obs::Stopwatch watch;
+    const eco::EcoResult r = eco::runEco(ckpt, deltas, threads);
+    const double incrementalSeconds = watch.seconds();
+
+    StreakOptions effective = eco::semanticOptions(ckpt.opts);
+    if (threads >= 0) effective.threads = threads;
+
+    for (const robust::Degradation& deg : r.degradations) {
+        std::cerr << "streak: degraded: " << deg.rung << " at " << deg.stage
+                  << " (" << deg.message << ")\n";
+    }
+    std::cout << "eco: re-solved " << r.resolvedGroups.size() << "/"
+              << r.totalGroups << " groups (carried " << r.carriedGroups()
+              << "), " << io::Table::fixed(incrementalSeconds, 3) << "s\n";
+    std::cout << "routed " << r.metrics.routedBits << "/"
+              << r.metrics.totalBits << " ("
+              << io::Table::percent(r.metrics.routability) << "), WL "
+              << r.metrics.wirelength << ", Avg(Reg) "
+              << io::Table::percent(r.metrics.avgRegularity) << ", Vio(dst) "
+              << r.distanceViolationsBefore << " -> "
+              << r.distanceViolationsAfter << ", overflow "
+              << r.metrics.totalOverflow << '\n';
+
+    double coldSeconds = -1.0;
+    if (cold) {
+        watch.restart();
+        const FlowResult coldFlow = runStreak(*r.design, effective);
+        coldSeconds = watch.seconds();
+        if (!coldFlow.ok()) {
+            std::cerr << "streak: cold re-route failed: "
+                      << coldFlow.error().describe() << '\n';
+            return robust::exitCodeFor(coldFlow.error().kind);
+        }
+        std::cout << "cold: re-solved " << r.totalGroups << "/"
+                  << r.totalGroups << " groups, "
+                  << io::Table::fixed(coldSeconds, 3) << "s";
+        if (coldSeconds > 0.0 && incrementalSeconds > 0.0) {
+            std::cout << " (incremental "
+                      << io::Table::fixed(coldSeconds / incrementalSeconds, 2)
+                      << "x)";
+        }
+        std::cout << '\n';
+        if (coldCheck) {
+            std::string diff;
+            if (!eco::equivalent(r, coldFlow.value(), &diff)) {
+                std::cerr << "streak: eco/cold mismatch: " << diff << '\n';
+                return 1;
+            }
+            std::cout << "cold-check: incremental result is byte-identical"
+                         " to the cold re-route\n";
+        }
+    }
+
+    if (!reportPath.empty()) {
+        std::ofstream os(reportPath);
+        if (!os) {
+            std::cerr << "streak: cannot open " << reportPath << '\n';
+            return 1;
+        }
+        eco::buildEcoReport(r, effective, incrementalSeconds, coldSeconds)
+            .write(os, 2);
+        os << '\n';
+        if (!quiet) std::cout << "wrote " << reportPath << '\n';
+    }
+    if (!savePath.empty()) {
+        eco::writeCheckpointFile(eco::makeCheckpoint(r, effective), savePath);
+        if (!quiet) std::cout << "wrote " << savePath << '\n';
+    }
     return 0;
 }
 
@@ -275,6 +430,7 @@ int main(int argc, char** argv) {
         if (cmd == "generate") return cmdGenerate(argc, argv);
         if (cmd == "info") return cmdInfo(argc, argv);
         if (cmd == "route") return cmdRoute(argc, argv);
+        if (cmd == "eco") return cmdEco(argc, argv);
     } catch (const streak::robust::StreakException& e) {
         // Structured failures outside runStreak (e.g. reading the design
         // file) still map to their distinct exit codes.
