@@ -228,17 +228,9 @@ BENCHMARK(BM_SimplexKernel)->Arg(0)->Arg(1)->Arg(2);
 
 /// Table I suites scaled down so the before/after ILP sweeps finish in
 /// seconds (the full suites are bench-only; check.sh runs this harness).
-gen::SuiteSpec shrunkSpec(int index) {
-    gen::SuiteSpec spec = gen::synthSpec(index);
-    spec.name += "-shrunk";
-    spec.numGroups = std::max(4, spec.numGroups / 4);
-    spec.minGroupWidth = std::min(spec.minGroupWidth, 4);
-    spec.maxGroupWidth = std::min(spec.maxGroupWidth, 6);
-    // Multipin candidate sets grow combinatorially; trim the pin count so
-    // the legacy-engine "before" sweep stays well inside the time limit.
-    spec.maxPins = std::min(spec.maxPins, 3);
-    return spec;
-}
+/// Shared with the campaign runner via gen::shrunkSynthSpec so counter
+/// baselines in BENCH_streak.json stay comparable.
+gen::SuiteSpec shrunkSpec(int index) { return gen::shrunkSynthSpec(index); }
 
 long long counterOf(const obs::Snapshot& snap, const std::string& name) {
     const auto it = snap.counters.find(name);

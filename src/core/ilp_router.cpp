@@ -8,7 +8,7 @@
 #include "check/ilp_audit.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "ilp/model.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/fault.hpp"
 
@@ -221,7 +221,7 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
 
     const auto solveComponent = [&](int comp) {
         // Worker-side span: nests under the owning region's span through
-        // the thread pool's TaskContext, one per independent component.
+        // the thread pool's worker binding, one per independent component.
         STREAK_SPAN("ilp/component");
         STREAK_FAULT_POINT("ilp/solve");
         const int root = components[static_cast<size_t>(comp)].first;
@@ -341,7 +341,8 @@ IlpRouteResult solveIlpRouting(const RoutingProblem& prob,
     };
 
     if (obs::detailEnabled()) {
-        obs::counter("ilp/router.components")
+        obs::session()
+            .counter("ilp/router.components")
             .add(static_cast<long long>(components.size()));
     }
 

@@ -8,6 +8,7 @@
 #include "core/backbone.hpp"
 #include "ilp/lp.hpp"
 #include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/control.hpp"
 #include "robust/recovery.hpp"
@@ -104,8 +105,15 @@ struct StreakOptions {
     /// Called once at the end of runStreak with the run's span tree and
     /// counter deltas. Setting it turns on detailed instrumentation
     /// (hot-path spans + counters) for the run, so benches can consume
-    /// counters programmatically without touching the global gate.
+    /// counters programmatically without touching the session's gate.
     std::function<void(const StreakObservation&)> observer;
+    /// Observability session the run records into (counters, histograms,
+    /// spans, detail gate). Null means the process-global default
+    /// session, which preserves the historical behaviour; give each run
+    /// its own session to keep metrics from concurrent or back-to-back
+    /// runs fully isolated (campaign sweeps do this). The session must
+    /// outlive the run.
+    std::shared_ptr<obs::Session> session;
 };
 
 }  // namespace streak

@@ -5,7 +5,7 @@
 
 #include "check/audit.hpp"
 #include "grid/routing_grid.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/fault.hpp"
 
@@ -106,8 +106,9 @@ public:
         // Counters are accumulated locally above and flushed once, so the
         // gate check is off the per-iteration path.
         if (obs::detailEnabled()) {
-            obs::counter("solve/pd.iterations").add(result.iterations);
-            obs::counter("solve/pd.pruned_candidates").add(prunedCandidates_);
+            obs::Session& sess = obs::session();
+            sess.counter("solve/pd.iterations").add(result.iterations);
+            sess.counter("solve/pd.pruned_candidates").add(prunedCandidates_);
         }
         // The dual bound certifies weak duality; a violation means the
         // capacity pruning admitted an infeasible pick somewhere.

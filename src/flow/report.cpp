@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/process.hpp"
+
 namespace streak::flow {
 
 namespace {
@@ -32,6 +34,18 @@ Value designSection(const Design& design) {
     d.set("nets", design.numNets());
     d.set("pins", design.totalPins());
     return d;
+}
+
+/// Host-side facts about the process that produced the report. All
+/// nondeterministic by nature (like span wall times), so report_check
+/// validates shape, never values.
+Value processSection() {
+    const obs::ProcessInfo info = obs::processInfo();
+    Object o;
+    o.set("peakRssKb", info.peakRssKb);
+    o.set("hostname", info.hostname);
+    o.set("hardwareThreads", info.hardwareThreads);
+    return o;
 }
 
 Value optionsSection(const StreakOptions& opts) {
@@ -145,6 +159,10 @@ Value spansSection(const obs::Trace& trace) {
 
 }  // namespace
 
+Value buildOptionsJson(const StreakOptions& opts) {
+    return optionsSection(opts);
+}
+
 Value buildRunReport(const Design& design, const StreakOptions& opts,
                      const StreakResult& result) {
     Object report;
@@ -164,6 +182,7 @@ Value buildRunReport(const Design& design, const StreakOptions& opts,
     solver.set("hitTimeLimit", result.hitTimeLimit);
     report.set("solver", std::move(solver));
     report.set("robust", robustSection(opts, result));
+    report.set("process", processSection());
     report.set("counters", countersSection(result.counters));
     report.set("histograms", histogramsSection(result.counters));
     report.set("spans", spansSection(result.trace));

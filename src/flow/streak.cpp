@@ -9,6 +9,7 @@
 #include "core/ilp_router.hpp"
 #include "core/pd_solver.hpp"
 #include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "post/clustering.hpp"
 #include "post/refine.hpp"
@@ -33,7 +34,9 @@ void annotateStage(obs::SpanScope* span, const parallel::RegionStats& stats) {
 /// > 100% overflow buckets) — the congestion signal aggregate Vio/WL
 /// numbers hide.
 void recordEdgeUtilization(const RoutedDesign& routed) {
-    static obs::Histogram& hist = obs::histogram(
+    // Resolved per run, never cached in a static: the handle belongs to
+    // this run's session.
+    obs::Histogram& hist = obs::session().histogram(
         "route/edge.utilization_pct", {10, 25, 50, 75, 90, 100, 125, 150, 200});
     const grid::RoutingGrid& grid = routed.usage.grid();
     for (int e = 0; e < grid.numEdges(); ++e) {
@@ -50,7 +53,7 @@ void recordEdgeUtilization(const RoutedDesign& routed) {
 }
 
 /// Enables detail instrumentation for the run when the caller asked for
-/// an observer; restores the previous global gate on scope exit.
+/// an observer; restores the bound session's previous gate on scope exit.
 class DetailForRun {
 public:
     explicit DetailForRun(bool wanted)
@@ -78,7 +81,7 @@ bool ladderMayAbsorb(const robust::StreakError& err,
 /// show them), a zero-length span event, and a Degradation entry.
 void recordDegradation(StreakResult* result, const char* stage,
                        const char* rung, const robust::StreakError& cause) {
-    obs::counter(std::string("robust/degraded.") + rung).add(1);
+    obs::session().counter(std::string("robust/degraded.") + rung).add(1);
     const obs::SpanScope event(std::string("robust/degraded/") + rung);
     robust::Degradation d;
     d.stage = stage;
@@ -131,12 +134,18 @@ StreakResult runStreakGuarded(const Design& design,
     StreakResult result(design.grid);
     result.threadsUsed = parallel::resolveThreads(opts.threads);
 
-    // One traced run at a time: restart the span tree and remember the
-    // counter baseline so result.counters holds this run's deltas.
-    obs::Tracer& tracer = obs::Tracer::instance();
+    // Bind the run's observability session (the process-global default
+    // when the caller didn't supply one): every counter flush and span
+    // below — including on pool workers — lands in it. One traced run at
+    // a time per session: restart its span tree and remember the counter
+    // baseline so result.counters holds this run's deltas.
+    obs::Session& sess =
+        opts.session != nullptr ? *opts.session : obs::defaultSession();
+    const obs::SessionBind bind(sess);
+    obs::Tracer& tracer = sess.tracer();
     tracer.reset();
     const DetailForRun detail(static_cast<bool>(opts.observer));
-    const obs::Snapshot countersBefore = obs::snapshotMetrics();
+    const obs::Snapshot countersBefore = sess.snapshotMetrics();
     obs::SpanScope runSpan(stage::kRun);
 
     // Once the run-wide deadline has been absorbed by a rung, later
@@ -356,7 +365,7 @@ StreakResult runStreakGuarded(const Design& design,
                    static_cast<double>(result.degradations.size()));
     tracer.endSpan(runSpan.id());
     result.trace = tracer.snapshot();
-    result.counters = obs::snapshotMetrics().minus(countersBefore);
+    result.counters = sess.snapshotMetrics().minus(countersBefore);
     if (opts.observer) {
         opts.observer(StreakObservation{result.trace, result.counters});
     }

@@ -257,6 +257,18 @@ SuiteSpec synthSpec(int index) {
 
 Design makeSynth(int index) { return generate(synthSpec(index)); }
 
+SuiteSpec shrunkSynthSpec(int index) {
+    SuiteSpec spec = synthSpec(index);
+    spec.name += "-shrunk";
+    spec.numGroups = std::max(4, spec.numGroups / 4);
+    spec.minGroupWidth = std::min(spec.minGroupWidth, 4);
+    spec.maxGroupWidth = std::min(spec.maxGroupWidth, 6);
+    // Multipin candidate sets grow combinatorially; trim the pin count so
+    // even the legacy-engine sweeps stay well inside the time limit.
+    spec.maxPins = std::min(spec.maxPins, 3);
+    return spec;
+}
+
 std::vector<SuiteSpec> scalabilitySpecs(bool multipin, int steps) {
     std::vector<SuiteSpec> specs;
     for (int i = 0; i < steps; ++i) {

@@ -56,6 +56,14 @@ struct SuiteSpec {
 /// Convenience: generate synth<index>.
 [[nodiscard]] Design makeSynth(int index);
 
+/// synthSpec(index) scaled down ("synthN-shrunk") so full before/after
+/// ILP sweeps finish in seconds — the shared recipe behind the kernel
+/// bench (BENCH_streak.json), the campaign runner's default instance
+/// family, and check.sh's drills. Counter trajectories are only
+/// comparable across those consumers because they all route the *same*
+/// shrunk designs.
+[[nodiscard]] SuiteSpec shrunkSynthSpec(int index);
+
 /// Size series for the Fig. 13 scalability study: the base suite scaled
 /// by group count (and, for the multipin series, enriched with pseudo
 /// pins/bits, as the paper does to enlarge Industry2).

@@ -9,7 +9,7 @@
 
 #include "check/ilp_audit.hpp"
 #include "ilp/lp.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/fault.hpp"
 
@@ -162,9 +162,10 @@ Solution solveIlp(const Model& model, const BnbOptions& opts, BnbStats* stats) {
     }
 
     if (obs::detailEnabled()) {
-        obs::counter("ilp/bnb.nodes_explored").add(nodes);
-        obs::counter("ilp/bnb.pruned_bound").add(prunedBound);
-        obs::counter("ilp/bnb.pruned_infeasible").add(prunedInfeasible);
+        obs::Session& sess = obs::session();
+        sess.counter("ilp/bnb.nodes_explored").add(nodes);
+        sess.counter("ilp/bnb.pruned_bound").add(prunedBound);
+        sess.counter("ilp/bnb.pruned_infeasible").add(prunedInfeasible);
     }
 
     if (stats) {

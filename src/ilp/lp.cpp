@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "check/assert.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/fault.hpp"
 
@@ -29,11 +29,12 @@ struct LpTally {
 
     ~LpTally() {
         if (!obs::detailEnabled()) return;
-        obs::counter("ilp/lp.solves").add(solves);
-        obs::counter("ilp/lp.pivots").add(pivots);
-        obs::counter("ilp/lp.bound_flips").add(boundFlips);
-        obs::counter("ilp/lp.warm_starts").add(warmStarts);
-        obs::counter("ilp/lp.warm_fallbacks").add(warmFallbacks);
+        obs::Session& sess = obs::session();
+        sess.counter("ilp/lp.solves").add(solves);
+        sess.counter("ilp/lp.pivots").add(pivots);
+        sess.counter("ilp/lp.bound_flips").add(boundFlips);
+        sess.counter("ilp/lp.warm_starts").add(warmStarts);
+        sess.counter("ilp/lp.warm_fallbacks").add(warmFallbacks);
     }
 };
 

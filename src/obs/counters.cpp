@@ -1,29 +1,9 @@
 #include "obs/counters.hpp"
 
-#include <memory>
-#include <mutex>
-
 #include "check/assert.hpp"
+#include "obs/session.hpp"
 
 namespace streak::obs {
-
-namespace {
-
-/// Name -> handle maps. Handles are heap-allocated once and never freed
-/// (process-lifetime registry), so references stay stable while the maps
-/// grow under the lock.
-struct RegistryState {
-    std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
-};
-
-RegistryState& registry() {
-    static RegistryState state;
-    return state;
-}
-
-}  // namespace
 
 Histogram::Histogram(std::vector<long long> upperBounds)
     : upperBounds_(std::move(upperBounds)),
@@ -58,36 +38,32 @@ std::vector<long long> Histogram::counts() const {
     return out;
 }
 
-Counter& counter(std::string_view name) {
-    RegistryState& state = registry();
-    std::lock_guard<std::mutex> lock(state.mutex);
-    const auto it = state.counters.find(name);
-    if (it != state.counters.end()) return *it->second;
-    return *state.counters.emplace(std::string(name),
-                                   std::make_unique<Counter>())
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+    return *counters_.emplace(std::string(name), std::make_unique<Counter>())
                 .first->second;
 }
 
-Histogram& histogram(std::string_view name,
-                     std::vector<long long> upperBounds) {
-    RegistryState& state = registry();
-    std::lock_guard<std::mutex> lock(state.mutex);
-    const auto it = state.histograms.find(name);
-    if (it != state.histograms.end()) return *it->second;
-    return *state.histograms
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<long long> upperBounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+    return *histograms_
                 .emplace(std::string(name),
                          std::make_unique<Histogram>(std::move(upperBounds)))
                 .first->second;
 }
 
-Snapshot snapshotMetrics() {
-    RegistryState& state = registry();
-    std::lock_guard<std::mutex> lock(state.mutex);
+Snapshot Registry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     Snapshot snap;
-    for (const auto& [name, c] : state.counters) {
+    for (const auto& [name, c] : counters_) {
         snap.counters.emplace(name, c->value());
     }
-    for (const auto& [name, h] : state.histograms) {
+    for (const auto& [name, h] : histograms_) {
         Snapshot::HistogramValues v;
         v.upperBounds = h->upperBounds();
         v.counts = h->counts();
@@ -97,6 +73,15 @@ Snapshot snapshotMetrics() {
     }
     return snap;
 }
+
+Counter& counter(std::string_view name) { return session().counter(name); }
+
+Histogram& histogram(std::string_view name,
+                     std::vector<long long> upperBounds) {
+    return session().histogram(name, std::move(upperBounds));
+}
+
+Snapshot snapshotMetrics() { return session().snapshotMetrics(); }
 
 Snapshot Snapshot::minus(const Snapshot& base) const {
     // Zero-delta entries are dropped: a counter another run bumped long

@@ -9,26 +9,32 @@
 // timestamps or anything else schedule-dependent; wall time lives only
 // in spans.
 //
-// Hot-path usage pattern — resolve the handle once, accumulate locally,
-// flush behind the runtime detail gate:
+// Hot-path usage pattern — resolve the handle once per scope, accumulate
+// locally, flush behind the runtime detail gate:
 //
-//   static obs::Counter& pops = obs::counter("route/maze.pops");
 //   long long n = 0;
 //   ... ++n in the loop ...
-//   if (obs::detailEnabled()) pops.add(n);
+//   if (obs::detailEnabled()) obs::session().counter("route/maze.pops").add(n);
+//
+// Never cache a handle in a `static` local: handles belong to the
+// Session (obs/session.hpp) that resolved them, and a static would pin
+// the first run's session forever, bleeding later runs' metrics into it.
 //
 // Histograms bucket values against fixed upper bounds; the last bucket
 // is an unbounded overflow bucket (how the per-edge utilization
 // distribution represents > 100% overflow).
 //
-// The registry is process-global; per-run values are obtained by
-// snapshot deltas (runStreak snapshots on entry and exit), so
-// instrumented code never needs resetting and handles stay valid for
-// the process lifetime.
+// Handles live in a Registry owned by an obs::Session. Registered
+// entries are never removed, so references stay valid for the owning
+// session's lifetime and instrumented code never needs resetting:
+// per-run values are obtained by snapshot deltas (runStreak snapshots on
+// entry and exit).
 #pragma once
 
 #include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,15 +81,6 @@ private:
     std::atomic<long long> sum_{0};
 };
 
-/// Registry handle for a counter; creates it on first use. The returned
-/// reference is valid for the process lifetime.
-[[nodiscard]] Counter& counter(std::string_view name);
-
-/// Registry handle for a histogram; creates it (with these bounds) on
-/// first use. Re-registration with different bounds keeps the original.
-[[nodiscard]] Histogram& histogram(std::string_view name,
-                                   std::vector<long long> upperBounds);
-
 /// Point-in-time copy of every registered counter and histogram, plus
 /// delta arithmetic for per-run values.
 struct Snapshot {
@@ -102,7 +99,42 @@ struct Snapshot {
     [[nodiscard]] Snapshot minus(const Snapshot& base) const;
 };
 
-/// Snapshot the whole registry.
+/// Name -> handle maps for one Session. Handles are heap-allocated once
+/// and never freed while the registry lives, so references stay stable
+/// while the maps grow under the lock.
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Handle for a counter; creates it on first use. The returned
+    /// reference is valid for the registry's lifetime.
+    [[nodiscard]] Counter& counter(std::string_view name);
+
+    /// Handle for a histogram; creates it (with these bounds) on first
+    /// use. Re-registration with different bounds keeps the original.
+    [[nodiscard]] Histogram& histogram(std::string_view name,
+                                       std::vector<long long> upperBounds);
+
+    /// Point-in-time copy of every registered counter and histogram.
+    [[nodiscard]] Snapshot snapshot() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Free-function conveniences resolving through the calling thread's
+// bound session (obs::session(); the process-global default session when
+// none is bound). Instrumented modules should spell the session out —
+// obs::session().counter(...) — which streak_analyze enforces outside
+// src/obs; these wrappers exist for tests and benches working against
+// the default session.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name,
+                                   std::vector<long long> upperBounds);
 [[nodiscard]] Snapshot snapshotMetrics();
 
 }  // namespace streak::obs

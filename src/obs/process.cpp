@@ -1,0 +1,35 @@
+#include "obs/process.hpp"
+
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace streak::obs {
+
+ProcessInfo processInfo() {
+    ProcessInfo info;
+    info.hostname = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+        // macOS reports ru_maxrss in bytes.
+        info.peakRssKb = static_cast<long long>(usage.ru_maxrss) / 1024;
+#else
+        info.peakRssKb = static_cast<long long>(usage.ru_maxrss);
+#endif
+    }
+    char host[256] = {};
+    if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+        info.hostname = host;
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    info.hardwareThreads = hw == 0 ? 1 : static_cast<int>(hw);
+    return info;
+}
+
+}  // namespace streak::obs

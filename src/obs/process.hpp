@@ -1,0 +1,26 @@
+// Process-level resource facts for run reports and campaign provenance
+// (DESIGN.md "Observability").
+//
+// Everything here is inherently nondeterministic (it describes the host,
+// not the computation), so it must never feed back into routing — it is
+// exported only into the report's "process" section and the campaign
+// store's host stanza.
+#pragma once
+
+#include <string>
+
+namespace streak::obs {
+
+struct ProcessInfo {
+    /// Peak resident set size of this process in kilobytes (getrusage
+    /// ru_maxrss; 0 when the platform cannot report it).
+    long long peakRssKb = 0;
+    /// Host name ("unknown" when the platform cannot report it).
+    std::string hostname;
+    /// std::thread::hardware_concurrency (>= 1).
+    int hardwareThreads = 1;
+};
+
+[[nodiscard]] ProcessInfo processInfo();
+
+}  // namespace streak::obs

@@ -1,0 +1,44 @@
+#include "obs/session.hpp"
+
+namespace streak::obs {
+
+namespace {
+
+thread_local Session* tlSession = nullptr;
+
+}  // namespace
+
+Session& defaultSession() {
+    static Session session;
+    return session;
+}
+
+Session& session() {
+    return tlSession != nullptr ? *tlSession : defaultSession();
+}
+
+Tracer& currentTracer() noexcept { return session().tracer(); }
+
+SessionBind::SessionBind(Session& session)
+    : savedSession_(tlSession), savedContext_(Tracer::threadContext()) {
+    tlSession = &session;
+    Tracer::setThreadContext({});
+}
+
+SessionBind::~SessionBind() {
+    tlSession = savedSession_;
+    Tracer::setThreadContext(savedContext_);
+}
+
+WorkerBind::WorkerBind(Session& session, int parentSpan, int track)
+    : savedSession_(tlSession), savedContext_(Tracer::threadContext()) {
+    tlSession = &session;
+    Tracer::setThreadContext({parentSpan, track});
+}
+
+WorkerBind::~WorkerBind() {
+    tlSession = savedSession_;
+    Tracer::setThreadContext(savedContext_);
+}
+
+}  // namespace streak::obs

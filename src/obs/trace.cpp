@@ -5,16 +5,12 @@ namespace streak::obs {
 namespace {
 
 // Per-thread span context. Workers inherit the owning region's span via
-// Tracer::TaskContext; the flow thread builds its own stack naturally.
+// obs::WorkerBind; the flow thread builds its own stack naturally. Saved
+// and restored together with the thread's session binding (session.cpp).
 thread_local int tlCurrentSpan = -1;
 thread_local int tlTrack = 0;
 
 }  // namespace
-
-Tracer& Tracer::instance() {
-    static Tracer tracer;
-    return tracer;
-}
 
 void Tracer::reset() {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -63,15 +59,13 @@ Trace Tracer::snapshot() const {
     return spans_;
 }
 
-Tracer::TaskContext::TaskContext(int parentSpan, int track)
-    : savedSpan_(tlCurrentSpan), savedTrack_(tlTrack) {
-    tlCurrentSpan = parentSpan;
-    tlTrack = track;
+Tracer::ThreadContext Tracer::threadContext() {
+    return {tlCurrentSpan, tlTrack};
 }
 
-Tracer::TaskContext::~TaskContext() {
-    tlCurrentSpan = savedSpan_;
-    tlTrack = savedTrack_;
+void Tracer::setThreadContext(ThreadContext context) {
+    tlCurrentSpan = context.span;
+    tlTrack = context.track;
 }
 
 double spanSeconds(const Trace& trace, std::string_view name) {

@@ -24,11 +24,14 @@
 //                             (obs::detailEnabled(), a relaxed atomic
 //                             load), so the disabled cost is near zero
 //
-// The tracer is a process-global singleton sized for one flow run at a
-// time: runStreak() resets it on entry and snapshots the span tree on
-// exit. Timestamps live only in spans, never in counters, so counter
-// values stay byte-identical across thread counts while spans remain
-// free to differ.
+// Each obs::Session (obs/session.hpp) owns one Tracer, sized for one
+// flow run at a time within that session: runStreak() binds its session,
+// resets the tracer on entry, and snapshots the span tree on exit. Spans
+// from instrumented code reach the tracer of the calling thread's bound
+// session (the process-global default session when none is bound).
+// Timestamps live only in spans, never in counters, so counter values
+// stay byte-identical across thread counts while spans remain free to
+// differ.
 //
 // This module is also the project's one sanctioned home (with
 // src/parallel) for raw std::chrono timing — tools/streak_lint rejects
@@ -81,7 +84,9 @@ using Trace = std::vector<Span>;
 
 class Tracer {
 public:
-    static Tracer& instance();
+    Tracer() = default;
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
 
     /// Runtime gate for hot-path instrumentation (STREAK_SPAN spans and
     /// counter flushes). Off by default; a relaxed atomic load to test.
@@ -93,7 +98,7 @@ public:
     }
 
     /// Drop all recorded spans and restart the epoch. The flow calls this
-    /// on entry; only one run may trace at a time.
+    /// on entry; only one run may trace at a time per session.
     void reset();
 
     /// Open a span under the calling thread's current span; returns its
@@ -108,25 +113,18 @@ public:
     /// Copy of the span tree recorded since the last reset().
     [[nodiscard]] Trace snapshot() const;
 
-    // --- parallel-region plumbing (used by src/parallel only) ---
-    /// Install (parentSpan, track) as the calling thread's span context;
-    /// restored on destruction. Workers use this so spans opened inside
-    /// tasks attach under the region's owning span.
-    class TaskContext {
-    public:
-        TaskContext(int parentSpan, int track);
-        ~TaskContext();
-        TaskContext(const TaskContext&) = delete;
-        TaskContext& operator=(const TaskContext&) = delete;
-
-    private:
-        int savedSpan_;
-        int savedTrack_;
+    // --- thread span context (used by obs::SessionBind / WorkerBind) ---
+    // Span ids are indices into the bound session's tracer; the context
+    // is saved and restored together with the session binding so a
+    // nested bind never mixes ids across tracers.
+    struct ThreadContext {
+        int span = -1;  ///< innermost open span id on this thread
+        int track = 0;  ///< 0 = flow thread, 1.. = pool workers
     };
+    [[nodiscard]] static ThreadContext threadContext();
+    static void setThreadContext(ThreadContext context);
 
 private:
-    Tracer() = default;
-
     std::atomic<bool> detail_{false};
     mutable std::mutex mutex_;
     Trace spans_;
@@ -134,32 +132,40 @@ private:
         std::chrono::steady_clock::now();
 };
 
-/// Shorthand for Tracer::instance().detailEnabled().
+/// Tracer of the calling thread's bound session (defined in session.cpp;
+/// declared here so the inline span helpers below stay header-only).
+[[nodiscard]] Tracer& currentTracer() noexcept;
+
+/// Shorthand for currentTracer().detailEnabled().
 [[nodiscard]] inline bool detailEnabled() {
-    return Tracer::instance().detailEnabled();
+    return currentTracer().detailEnabled();
 }
 inline void setDetailEnabled(bool enabled) {
-    Tracer::instance().setDetailEnabled(enabled);
+    currentTracer().setDetailEnabled(enabled);
 }
 
 /// RAII span over the enclosing scope. Pass record = false to make the
-/// scope a no-op (how STREAK_SPAN applies the runtime gate).
+/// scope a no-op (how STREAK_SPAN applies the runtime gate). The tracer
+/// is resolved from the bound session at construction and kept, so the
+/// span closes on the tracer that opened it even across a rebind.
 class SpanScope {
 public:
     explicit SpanScope(std::string name, bool record = true)
-        : id_(record ? Tracer::instance().beginSpan(std::move(name)) : -1) {}
+        : tracer_(record ? &currentTracer() : nullptr),
+          id_(tracer_ != nullptr ? tracer_->beginSpan(std::move(name)) : -1) {}
     ~SpanScope() {
-        if (id_ >= 0) Tracer::instance().endSpan(id_);
+        if (id_ >= 0) tracer_->endSpan(id_);
     }
     SpanScope(const SpanScope&) = delete;
     SpanScope& operator=(const SpanScope&) = delete;
 
     [[nodiscard]] int id() const { return id_; }
     void addArg(std::string key, double value) {
-        if (id_ >= 0) Tracer::instance().addSpanArg(id_, std::move(key), value);
+        if (id_ >= 0) tracer_->addSpanArg(id_, std::move(key), value);
     }
 
 private:
+    Tracer* tracer_;
     int id_;
 };
 

@@ -9,7 +9,7 @@
 #include <thread>
 
 #include "check/assert.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/error.hpp"
 
@@ -70,8 +70,11 @@ struct ThreadPool::Impl {
     // Current job (valid while busyWorkers > 0 or generation just bumped).
     const std::function<void(int)>* fn = nullptr;
     int taskCount = 0;
-    // Span that was current on the owning thread when the region started;
-    // workers adopt it so spans opened inside tasks attach under it.
+    // Session and span that were current on the owning thread when the
+    // region started; workers adopt both so spans opened (and counters
+    // flushed) inside tasks land in the owner's session, attached under
+    // the owner's span.
+    obs::Session* session = nullptr;
     int parentSpan = -1;
     std::atomic<int> nextTask{0};
     std::atomic<bool> failed{false};
@@ -123,6 +126,7 @@ struct ThreadPool::Impl {
         long seenGeneration = 0;
         for (;;) {
             int jobParentSpan = -1;
+            obs::Session* jobSession = nullptr;
             {
                 std::unique_lock<std::mutex> lock(mutex);
                 wake.wait(lock, [&] {
@@ -131,9 +135,10 @@ struct ThreadPool::Impl {
                 if (shutdown) return;
                 seenGeneration = generation;
                 jobParentSpan = parentSpan;
+                jobSession = session;
             }
             {
-                const obs::Tracer::TaskContext ctx(jobParentSpan, track);
+                const obs::WorkerBind ctx(*jobSession, jobParentSpan, track);
                 drain();
             }
             {
@@ -191,7 +196,8 @@ void ThreadPool::runParallel(int n, const std::function<void(int)>& fn) {
     im.fn = &fn;
     im.taskCount = n;
     im.control = control_;
-    im.parentSpan = obs::Tracer::instance().currentSpan();
+    im.session = &obs::session();
+    im.parentSpan = im.session->tracer().currentSpan();
     im.nextTask.store(0, std::memory_order_relaxed);
     im.failed.store(false, std::memory_order_relaxed);
     im.errors.assign(static_cast<size_t>(n), nullptr);
@@ -231,7 +237,7 @@ void ThreadPool::runParallel(int n, const std::function<void(int)>& fn) {
     }
     if (firstError == im.errors.size()) return;
     if (suppressed == 0) std::rethrow_exception(im.errors[firstError]);
-    obs::counter("parallel/exceptions_suppressed").add(suppressed);
+    obs::session().counter("parallel/exceptions_suppressed").add(suppressed);
     rethrowWithSuppressedNote(im.errors[firstError], suppressed);
 }
 

@@ -6,7 +6,7 @@
 
 #include "core/candidate.hpp"
 #include "geom/rect.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/fault.hpp"
 
@@ -343,7 +343,8 @@ RefinementResult refineDistances(const RoutingProblem& prob,
         if (detail) {
             // Wave sizes expose how much independence the overlap
             // scheduler found — the Fig. 13 scalability ceiling.
-            obs::histogram("post/refine.wave_size", {1, 2, 4, 8, 16, 32})
+            obs::session()
+                .histogram("post/refine.wave_size", {1, 2, 4, 8, 16, 32})
                 .record(static_cast<long long>(members.size()));
         }
         pool.parallelFor(static_cast<int>(members.size()), [&](int k) {
@@ -359,10 +360,11 @@ RefinementResult refineDistances(const RoutingProblem& prob,
     }
     result.parallelStats.merge(pool.stats());
     if (detail) {
-        obs::counter("post/refine.waves").add(waves);
-        obs::counter("post/refine.pins_considered").add(result.pinsConsidered);
-        obs::counter("post/refine.pins_fixed").add(result.pinsFixed);
-        obs::counter("post/refine.added_wirelength")
+        obs::Session& sess = obs::session();
+        sess.counter("post/refine.waves").add(waves);
+        sess.counter("post/refine.pins_considered").add(result.pinsConsidered);
+        sess.counter("post/refine.pins_fixed").add(result.pinsFixed);
+        sess.counter("post/refine.added_wirelength")
             .add(result.addedWirelength);
     }
 

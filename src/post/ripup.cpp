@@ -6,7 +6,7 @@
 
 #include "check/audit.hpp"
 #include "grid/routing_grid.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 
 namespace streak::post {
@@ -174,11 +174,12 @@ RipupResult ripupAndReroute(const RoutingProblem& prob, RoutingSolution* sol,
         }
     }
     if (obs::detailEnabled()) {
-        obs::counter("post/ripup.rounds").add(roundsRun);
-        obs::counter("post/ripup.objects_ripped").add(result.objectsRipped);
-        obs::counter("post/ripup.objects_recovered")
+        obs::Session& sess = obs::session();
+        sess.counter("post/ripup.rounds").add(roundsRun);
+        sess.counter("post/ripup.objects_ripped").add(result.objectsRipped);
+        sess.counter("post/ripup.objects_recovered")
             .add(result.objectsRecovered);
-        obs::counter("post/ripup.objects_lost").add(result.objectsLost);
+        sess.counter("post/ripup.objects_lost").add(result.objectsLost);
     }
     sol->objective = solutionObjective(prob, sol->chosen);
     // Rip-up must hand back a capacity-feasible assignment no matter how

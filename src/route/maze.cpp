@@ -6,7 +6,7 @@
 #include <tuple>
 
 #include "check/assert.hpp"
-#include "obs/counters.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "robust/fault.hpp"
 
@@ -26,10 +26,11 @@ struct SearchTally {
 
     ~SearchTally() {
         if (!obs::detailEnabled()) return;
-        obs::counter("route/maze.pops").add(pops);
-        obs::counter("route/maze.pushes").add(pushes);
-        obs::counter("route/maze.window_growths").add(windowGrowths);
-        obs::counter("route/maze.window_fallbacks").add(windowFallbacks);
+        obs::Session& sess = obs::session();
+        sess.counter("route/maze.pops").add(pops);
+        sess.counter("route/maze.pushes").add(pushes);
+        sess.counter("route/maze.window_growths").add(windowGrowths);
+        sess.counter("route/maze.window_fallbacks").add(windowFallbacks);
     }
 };
 

@@ -30,7 +30,12 @@ struct SequentialResult {
 };
 
 /// Route every bit of the design sequentially (group order, bit order).
+/// `mazeOnly` skips the pattern-route shortcut and sends every bit
+/// through the maze search — the kernel-bench semantics, used by the
+/// campaign runner so its maze counters stay comparable to the
+/// committed BENCH_streak.json baselines.
 [[nodiscard]] SequentialResult routeSequential(const Design& design,
-                                               const MazeOptions& opts = {});
+                                               const MazeOptions& opts = {},
+                                               bool mazeOnly = false);
 
 }  // namespace streak::route

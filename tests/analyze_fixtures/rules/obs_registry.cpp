@@ -1,0 +1,14 @@
+// Fixture: obs-global-registry (fixture paths sit outside src/, so the
+// src/obs exemption does not apply).
+#include "obs/counters.hpp"
+void fire() {
+    obs::counter("route/maze.pops").add(1);
+    obs::histogram("route/edge.utilization_pct", {10}).record(3);
+}
+void sanctioned() {
+    obs::session().counter("route/maze.pops").add(1);
+}
+void waived() {
+    obs::counter("route/maze.pops").add(1);  // analyze-ok: obs-global-registry
+}
+// analyze-ok: obs-global-registry

@@ -1,0 +1,203 @@
+// Per-run observability sessions (DESIGN.md "Observability"): binding
+// semantics (save/restore of session + span context), isolation of
+// counters / histograms / spans / the detail gate between sessions, and
+// the flow-level contract the campaign runner depends on — sequential
+// in-process runs under distinct sessions report exactly what a fresh
+// process would, at every thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "flow/streak.hpp"
+#include "gen/generator.hpp"
+#include "obs/counters.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+
+namespace streak {
+namespace {
+
+void expectSnapshotsEqual(const obs::Snapshot& a, const obs::Snapshot& b) {
+    EXPECT_EQ(a.counters, b.counters);
+    ASSERT_EQ(a.histograms.size(), b.histograms.size());
+    for (const auto& [name, hv] : a.histograms) {
+        ASSERT_TRUE(b.histograms.contains(name)) << name;
+        const auto& other = b.histograms.at(name);
+        EXPECT_EQ(other.upperBounds, hv.upperBounds) << name;
+        EXPECT_EQ(other.counts, hv.counts) << name;
+        EXPECT_EQ(other.total, hv.total) << name;
+        EXPECT_EQ(other.sum, hv.sum) << name;
+    }
+}
+
+/// Timestamp-free skeleton of a trace: (name, parent index, track).
+std::vector<std::tuple<std::string, int, int>> structureOf(
+    const obs::Trace& trace) {
+    std::vector<std::tuple<std::string, int, int>> out;
+    out.reserve(trace.size());
+    for (const obs::Span& span : trace) {
+        out.emplace_back(span.name, span.parent, span.thread);
+    }
+    return out;
+}
+
+/// Order- and track-insensitive skeleton: sorted (name, parent name)
+/// pairs. Concurrent workers may interleave span begin order and swap
+/// tracks between runs, but which spans exist and where they attach is
+/// deterministic.
+std::vector<std::pair<std::string, std::string>> shapeOf(
+    const obs::Trace& trace) {
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(trace.size());
+    for (const obs::Span& span : trace) {
+        out.emplace_back(span.name,
+                         span.parent >= 0
+                             ? trace[static_cast<size_t>(span.parent)].name
+                             : std::string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(Session, CountersAndHistogramsIsolateBetweenSessions) {
+    obs::Session a;
+    obs::Session b;
+    {
+        const obs::SessionBind bind(a);
+        obs::counter("test/session.iso").add(3);
+        obs::histogram("test/session.hist", {10}).record(4);
+    }
+    {
+        const obs::SessionBind bind(b);
+        obs::counter("test/session.iso").add(5);
+    }
+    const obs::Snapshot snapA = a.snapshotMetrics();
+    const obs::Snapshot snapB = b.snapshotMetrics();
+    EXPECT_EQ(snapA.counters.at("test/session.iso"), 3);
+    EXPECT_EQ(snapB.counters.at("test/session.iso"), 5);
+    EXPECT_TRUE(snapA.histograms.contains("test/session.hist"));
+    EXPECT_FALSE(snapB.histograms.contains("test/session.hist"));
+    // Neither bind leaked into the process-global default session.
+    const obs::Snapshot global = obs::defaultSession().snapshotMetrics();
+    EXPECT_FALSE(global.counters.contains("test/session.iso"));
+    EXPECT_FALSE(global.histograms.contains("test/session.hist"));
+}
+
+TEST(Session, BindRestoresPreviousSessionAndSpanContext) {
+    obs::Session a;
+    obs::Session b;
+    const obs::SessionBind bindA(a);
+    obs::SpanScope outer("test/session.outer");
+    EXPECT_EQ(a.tracer().currentSpan(), outer.id());
+    {
+        const obs::SessionBind bindB(b);
+        // A fresh bind starts with a clean span context: ids are indices
+        // into the *bound* tracer and must never cross sessions.
+        EXPECT_EQ(b.tracer().currentSpan(), -1);
+        obs::SpanScope inner("test/session.inner");
+        EXPECT_EQ(b.tracer().currentSpan(), inner.id());
+    }
+    EXPECT_EQ(a.tracer().currentSpan(), outer.id());
+    EXPECT_EQ(obs::findSpan(a.tracer().snapshot(), "test/session.inner"),
+              nullptr);
+    EXPECT_NE(obs::findSpan(b.tracer().snapshot(), "test/session.inner"),
+              nullptr);
+}
+
+TEST(Session, DetailGateIsPerSession) {
+    const bool globalBefore = obs::defaultSession().detailEnabled();
+    obs::Session a;
+    {
+        const obs::SessionBind bind(a);
+        obs::setDetailEnabled(true);  // routes to the bound session
+        EXPECT_TRUE(obs::detailEnabled());
+    }
+    EXPECT_TRUE(a.detailEnabled());
+    EXPECT_EQ(obs::defaultSession().detailEnabled(), globalBefore);
+}
+
+/// Small two-pin design shared by the flow-level tests.
+Design smallDesign() {
+    gen::SuiteSpec spec = gen::synthSpec(1);
+    spec.numGroups = 6;
+    spec.gridWidth = 48;
+    spec.gridHeight = 48;
+    return gen::generate(spec);
+}
+
+struct SessionRun {
+    obs::Snapshot counters;
+    obs::Trace trace;
+};
+
+/// One flow run under a brand-new session — what a fresh process would
+/// report for the same design and options.
+SessionRun runInFreshSession(const Design& d, int threads) {
+    StreakOptions opts;
+    opts.postOptimize = true;
+    opts.threads = threads;
+    opts.session = std::make_shared<obs::Session>();
+    opts.observer = [](const StreakObservation&) {};
+    const StreakResult r = runStreak(d, opts).value();
+    return {r.counters, r.trace};
+}
+
+TEST(SessionFlow, SequentialSessionRunsMatchAFreshRunAtEveryThreadCount) {
+    const Design d = smallDesign();
+    obs::Snapshot countersAtOneThread;
+    for (const int threads : {1, 2, 8}) {
+        // The first run of a fresh session is the fresh-process baseline;
+        // the two sequential re-runs must be indistinguishable from it.
+        const SessionRun fresh = runInFreshSession(d, threads);
+        const SessionRun second = runInFreshSession(d, threads);
+        const SessionRun third = runInFreshSession(d, threads);
+        expectSnapshotsEqual(second.counters, fresh.counters);
+        expectSnapshotsEqual(third.counters, fresh.counters);
+        if (threads == 1) {
+            // Single-threaded span recording is fully deterministic:
+            // the whole skeleton matches span for span.
+            EXPECT_EQ(structureOf(second.trace), structureOf(fresh.trace));
+            EXPECT_EQ(structureOf(third.trace), structureOf(fresh.trace));
+            countersAtOneThread = fresh.counters;
+        } else {
+            // Workers may interleave begin order and swap tracks, but
+            // the set of spans and their parents is deterministic.
+            EXPECT_EQ(shapeOf(second.trace), shapeOf(fresh.trace));
+            EXPECT_EQ(shapeOf(third.trace), shapeOf(fresh.trace));
+            // Determinism contract: counters thread-count-invariant.
+            expectSnapshotsEqual(fresh.counters, countersAtOneThread);
+        }
+    }
+}
+
+TEST(SessionFlow, ScopedRunLeavesTheDefaultSessionUntouched) {
+    const Design d = smallDesign();
+    const obs::Snapshot before = obs::defaultSession().snapshotMetrics();
+    (void)runInFreshSession(d, 2);
+    const obs::Snapshot after = obs::defaultSession().snapshotMetrics();
+    expectSnapshotsEqual(after, before);
+}
+
+TEST(SessionFlow, HistogramsFollowTheRunSessionNotTheFirstCaller) {
+    // Regression: the edge-utilization histogram handle was cached in a
+    // function-local static, pinning the session of whichever run came
+    // first — later runs under other sessions silently recorded there,
+    // so their own snapshot missed the histogram and the stale session's
+    // deltas bled across runs.
+    const Design d = smallDesign();
+    const SessionRun first = runInFreshSession(d, 1);
+    const SessionRun second = runInFreshSession(d, 1);
+    ASSERT_TRUE(
+        first.counters.histograms.contains("route/edge.utilization_pct"));
+    ASSERT_TRUE(
+        second.counters.histograms.contains("route/edge.utilization_pct"));
+    expectSnapshotsEqual(second.counters, first.counters);
+}
+
+}  // namespace
+}  // namespace streak

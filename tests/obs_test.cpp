@@ -17,6 +17,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
+#include "obs/session.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -38,7 +39,7 @@ const obs::Span* spanNamed(const obs::Trace& trace, std::string_view name) {
 }
 
 TEST(Tracer, NestsSpansAndRestoresCurrent) {
-    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::Tracer& tracer = obs::defaultSession().tracer();
     tracer.reset();
     EXPECT_EQ(tracer.currentSpan(), -1);
     {
@@ -70,7 +71,7 @@ TEST(Tracer, NestsSpansAndRestoresCurrent) {
 }
 
 TEST(Tracer, SpanArgsAndQueries) {
-    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::Tracer& tracer = obs::defaultSession().tracer();
     tracer.reset();
     {
         obs::SpanScope span("test/annotated");
@@ -85,7 +86,7 @@ TEST(Tracer, SpanArgsAndQueries) {
 }
 
 TEST(Tracer, GatedSpanScopeIsNotRecorded) {
-    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::Tracer& tracer = obs::defaultSession().tracer();
     tracer.reset();
     {
         const obs::SpanScope gated("test/skipped", /*record=*/false);
@@ -98,7 +99,7 @@ TEST(Tracer, GatedSpanScopeIsNotRecorded) {
 TEST(Tracer, WorkerSpansAttachUnderRegionSpan) {
     DetailGuard guard;
     obs::setDetailEnabled(true);
-    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::Tracer& tracer = obs::defaultSession().tracer();
     tracer.reset();
     {
         obs::SpanScope owner("test/owner");

@@ -68,6 +68,7 @@ struct AnalyzerOptions {
     bool legacyRules = true;        // the seven streak_lint rules
     bool determinismRules = true;   // the determinism rule pack
     bool robustnessRules = true;    // catch-all / flow-throw pack
+    bool observabilityRules = true; // global obs-registry access pack
     bool layering = true;           // requires `layers`
     bool unusedSuppressions = true; // report waivers that suppress nothing
     /// Marker words that introduce a suppression in a comment.

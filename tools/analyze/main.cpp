@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--legacy-only") {
             opts.determinismRules = false;
             opts.robustnessRules = false;
+            opts.observabilityRules = false;
             opts.layering = false;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();

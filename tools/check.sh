@@ -29,6 +29,14 @@
 #                                    CLI run whose report must validate
 #                                    and re-solve strictly fewer groups
 #                                    than a cold re-route)
+#  11. campaign regression drill    (`streak campaign run` sweeps every
+#                                    builtin config over the shrunk
+#                                    synth1-7 into a JSONL store;
+#                                    `campaign diff` must be clean
+#                                    against the store itself and the
+#                                    committed BENCH_streak.json, and
+#                                    must flag an injected 2x maze-pop
+#                                    regression with exit code 8)
 #
 # Usage:  tools/check.sh [--full]
 #   --full   run the entire ctest suite (not just the smoke subsets)
@@ -41,12 +49,12 @@ FULL=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/10] project lint pass =="
+echo "== [1/11] project lint pass =="
 cmake --preset dev >/dev/null
 cmake --build --preset dev --target streak_lint -j "$JOBS" >/dev/null
 ./build/tools/streak_lint src
 
-echo "== [2/10] clang-tidy =="
+echo "== [2/11] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # The dev preset exports compile_commands.json.
     mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
@@ -55,11 +63,11 @@ else
     echo "clang-tidy not installed; skipping (rules live in .clang-tidy)"
 fi
 
-echo "== [3/10] -Werror build =="
+echo "== [3/11] -Werror build =="
 cmake --preset werror >/dev/null
 cmake --build --preset werror -j "$JOBS"
 
-echo "== [4/10] ASan/UBSan =="
+echo "== [4/11] ASan/UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$JOBS"
 if [[ "$FULL" == 1 ]]; then
@@ -70,7 +78,7 @@ else
     ./build-asan/tests/flow_test
 fi
 
-echo "== [5/10] ThreadSanitizer =="
+echo "== [5/11] ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 if [[ "$FULL" == 1 ]]; then
     cmake --build --preset tsan -j "$JOBS"
@@ -84,7 +92,7 @@ else
     ./build-tsan/tests/parallel_determinism_test
 fi
 
-echo "== [6/10] observability exports =="
+echo "== [6/11] observability exports =="
 cmake --build --preset dev --target streak_cli report_check -j "$JOBS" >/dev/null
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -93,7 +101,7 @@ trap 'rm -rf "$OBS_TMP"' EXIT
     --report="$OBS_TMP/report.json" --trace="$OBS_TMP/trace.json" --quiet
 ./build/tools/report_check "$OBS_TMP/report.json" "$OBS_TMP/trace.json"
 
-echo "== [7/10] hot-path kernel bench =="
+echo "== [7/11] hot-path kernel bench =="
 cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 # Counter harness over the shrunk synth suite: before/after runs of the
 # maze-search and simplex kernels must produce identical solutions, and
@@ -103,7 +111,7 @@ cmake --build --preset dev --target micro_kernels -j "$JOBS" >/dev/null
 STREAK_BENCH_JSON="$OBS_TMP/bench.json" ./build/bench/micro_kernels --report
 ./build/tools/report_check --bench "$OBS_TMP/bench.json"
 
-echo "== [8/10] static analysis =="
+echo "== [8/11] static analysis =="
 # Full rule set: the seven lint rules, the determinism pack, and the
 # module layering DAG (tools/analyze/layers.txt), with waiver-rot
 # checking. The SARIF artifact is written even on a clean run so CI
@@ -114,7 +122,7 @@ cmake --build --preset dev --target streak_analyze -j "$JOBS" >/dev/null
     --sarif build/analyze.sarif \
     src tools
 
-echo "== [9/10] chaos + deadline drill =="
+echo "== [9/11] chaos + deadline drill =="
 # Fault-tolerance contract (DESIGN.md "Robustness"): sweep every
 # cataloged fault site across the shrunk synth suites under ASan/UBSan —
 # every run must end in an audited solution or a structured StreakError,
@@ -130,7 +138,7 @@ cmake --build --preset asan-ubsan -j "$JOBS" \
     --deadline=60 --report="$OBS_TMP/deadline.json" --quiet
 ./build/tools/report_check "$OBS_TMP/deadline.json"
 
-echo "== [10/10] incremental ECO drill =="
+echo "== [10/11] incremental ECO drill =="
 # Differential equivalence contract (DESIGN.md "Incremental ECO"): an
 # incremental re-route of the affected-group closure is byte-identical
 # to a from-scratch re-route of the mutated design.
@@ -160,6 +168,31 @@ read -r RESOLVED TOTAL < <(sed -n \
 if [[ "$RESOLVED" -ge "$TOTAL" ]]; then
     echo "check.sh: eco resolved $RESOLVED/$TOTAL groups (expected a" \
          "strict subset for a single-pin move)" >&2
+    exit 1
+fi
+
+echo "== [11/11] campaign regression drill =="
+# Sweep every builtin config (pd, pd-nopost, ilp, manual) over the
+# shrunk synth suites at one thread into an append-only JSONL store,
+# then diff: against the store itself and the committed kernel-bench
+# baseline the verdict must be clean; with maze pops scaled 2x the diff
+# must exit 8 (the campaign-regression code), proving the alarm fires.
+./build/tools/streak campaign run --store="$OBS_TMP/campaign.jsonl" \
+    --threads=1 --quiet
+./build/tools/streak campaign diff "$OBS_TMP/campaign.jsonl" \
+    --baseline="$OBS_TMP/campaign.jsonl" --bench=BENCH_streak.json \
+    --verdict="$OBS_TMP/verdict.json"
+./build/tools/streak campaign run --store="$OBS_TMP/drill.jsonl" \
+    --suites=1 --configs=manual --threads=1 \
+    --scale-counter=route/maze.pops:2 --quiet
+DRILL_RC=0
+./build/tools/streak campaign diff "$OBS_TMP/drill.jsonl" \
+    --baseline="$OBS_TMP/campaign.jsonl" \
+    --verdict="$OBS_TMP/drill-verdict.json" --quiet 2>/dev/null \
+    || DRILL_RC=$?
+if [[ "$DRILL_RC" -ne 8 ]]; then
+    echo "check.sh: campaign diff missed the injected 2x maze-pop" \
+         "regression (exit $DRILL_RC, expected 8)" >&2
     exit 1
 fi
 

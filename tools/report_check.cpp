@@ -1,340 +1,103 @@
 // Validator for the observability exports (DESIGN.md "Observability"):
 //
-//   report_check <report.json> [<trace.json>]
+//   report_check [--eco] <report.json> [<trace.json>]
 //   report_check --bench <BENCH_streak.json>
 //
-// Checks the run report against the streak-run-report schema (header
-// fields, required sections, a "flow/run" root span) and, when given,
-// the chrome://tracing export for structural validity: every duration
-// event carries ph/ts/pid/tid/name, and each (pid, tid) track's B/E
-// events balance like a bracket sequence with matching names.
+// Thin CLI over src/flow/report_check.hpp (the checks themselves are a
+// library so the test suite can drive them on malformed input without
+// spawning a process):
 //
-// --bench validates a `micro_kernels --report` kernel-bench document
-// instead: the streak-kernel-bench schema (before/after sides with
-// counters and solutions per kernel per design) plus the performance
-// contract of the hot-path kernels — route/maze.pops and ilp/lp.pivots
-// must drop by at least 30% in total across the shrunk synth suite, and
-// no before/after pair may disagree on its solution.
+//   default    streak-run-report v1 — header fields, required sections
+//              (design/options/metrics/robust/process/counters/
+//              histograms/spans), a "flow/run" root span; with --eco the
+//              eco section `streak eco --report` appends is required,
+//              not merely validated when present. The optional second
+//              argument is a chrome://tracing export checked for
+//              structural validity (balanced per-track B/E events).
+//   --bench    streak-kernel-bench v1 (`micro_kernels --report`):
+//              before/after sides per kernel per design, solution
+//              equality, and the >= 30% pops / pivots drop contract.
 //
-// Exits non-zero with a message per problem; check.sh runs it as the
-// last stage over a fresh `streak route --report --trace` run and over a
-// fresh kernel-bench report.
-#include <cmath>
+// Exits non-zero with a message per problem; check.sh runs it over fresh
+// `streak route` / `streak eco` / kernel-bench exports.
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "flow/report.hpp"
-#include "obs/json.hpp"
+#include "flow/report_check.hpp"
 
 namespace {
 
-using streak::obs::json::Kind;
-using streak::obs::json::Value;
-
-int errors = 0;
-
-void fail(const std::string& message) {
-    std::cerr << "report_check: " << message << '\n';
-    ++errors;
-}
-
-Value parseFile(const std::string& path) {
+/// Whole file as a string, or nullopt (with a message) when unreadable.
+std::optional<std::string> slurp(const std::string& path) {
     std::ifstream in(path);
     if (!in) {
-        fail("cannot open " + path);
-        return Value();
+        std::cerr << "report_check: cannot open " << path << '\n';
+        return std::nullopt;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    std::string error;
-    const Value doc = streak::obs::json::parse(buffer.str(), &error);
-    if (doc.isNull() && !error.empty()) fail(path + ": " + error);
-    return doc;
+    return buffer.str();
 }
 
-/// The key must exist and have the expected kind.
-const Value* requireField(const Value& obj, const std::string& key, Kind kind,
-                          const std::string& where) {
-    const Value* v = obj.find(key);
-    if (v == nullptr) {
-        fail(where + ": missing field \"" + key + "\"");
-        return nullptr;
+int finish(const streak::flow::CheckResult& result) {
+    for (const std::string& problem : result.problems) {
+        std::cerr << "report_check: " << problem << '\n';
     }
-    if (v->kind() != kind) {
-        fail(where + ": field \"" + key + "\" has the wrong type");
-        return nullptr;
+    if (!result.ok()) {
+        std::cerr << "report_check: " << result.problems.size()
+                  << " problem(s)\n";
+        return 1;
     }
-    return v;
-}
-
-void checkSpanTree(const Value& span, const std::string& where) {
-    requireField(span, "name", Kind::String, where);
-    requireField(span, "track", Kind::Number, where);
-    requireField(span, "startSeconds", Kind::Number, where);
-    const Value* seconds = requireField(span, "seconds", Kind::Number, where);
-    if (seconds != nullptr && seconds->asNumber() < 0.0) {
-        fail(where + ": negative span duration");
-    }
-    if (const Value* children = span.find("children")) {
-        if (children->kind() != Kind::Array) {
-            fail(where + ": \"children\" is not an array");
-            return;
-        }
-        for (size_t i = 0; i < children->asArray().size(); ++i) {
-            checkSpanTree(children->asArray()[i],
-                          where + "/child[" + std::to_string(i) + "]");
-        }
-    }
-}
-
-void checkReport(const std::string& path) {
-    const Value doc = parseFile(path);
-    if (doc.isNull()) return;
-    if (doc.kind() != Kind::Object) {
-        fail(path + ": top level is not an object");
-        return;
-    }
-    const Value* schema =
-        requireField(doc, "schema", Kind::String, path);
-    if (schema != nullptr &&
-        schema->asString() != streak::flow::kReportSchema) {
-        fail(path + ": schema is \"" + schema->asString() + "\", expected \"" +
-             streak::flow::kReportSchema + "\"");
-    }
-    const Value* version =
-        requireField(doc, "schemaVersion", Kind::Number, path);
-    if (version != nullptr &&
-        static_cast<int>(version->asNumber()) !=
-            streak::flow::kReportSchemaVersion) {
-        fail(path + ": unsupported schemaVersion");
-    }
-    requireField(doc, "design", Kind::Object, path);
-    requireField(doc, "options", Kind::Object, path);
-    requireField(doc, "metrics", Kind::Object, path);
-    const Value* robust = requireField(doc, "robust", Kind::Object, path);
-    if (robust != nullptr) {
-        requireField(*robust, "deadlineSeconds", Kind::Number,
-                     path + ":robust");
-        requireField(*robust, "degraded", Kind::Bool, path + ":robust");
-        const Value* rungs = requireField(*robust, "degradations",
-                                          Kind::Array, path + ":robust");
-        if (rungs != nullptr) {
-            for (size_t i = 0; i < rungs->asArray().size(); ++i) {
-                const std::string where =
-                    path + ":robust/degradation[" + std::to_string(i) + "]";
-                const Value& rung = rungs->asArray()[i];
-                requireField(rung, "stage", Kind::String, where);
-                requireField(rung, "rung", Kind::String, where);
-                requireField(rung, "message", Kind::String, where);
-            }
-        }
-    }
-    requireField(doc, "counters", Kind::Object, path);
-    requireField(doc, "histograms", Kind::Object, path);
-    const Value* spans = requireField(doc, "spans", Kind::Array, path);
-    if (spans == nullptr) return;
-    if (spans->asArray().empty()) {
-        fail(path + ": span tree is empty");
-        return;
-    }
-    bool haveRun = false;
-    for (const Value& root : spans->asArray()) {
-        const Value* name = root.find("name");
-        if (name != nullptr && name->kind() == Kind::String &&
-            name->asString() == streak::stage::kRun) {
-            haveRun = true;
-        }
-    }
-    if (!haveRun) {
-        fail(path + ": no root span named \"" +
-             std::string(streak::stage::kRun) + "\"");
-    }
-    for (size_t i = 0; i < spans->asArray().size(); ++i) {
-        checkSpanTree(spans->asArray()[i],
-                      path + ":span[" + std::to_string(i) + "]");
-    }
-}
-
-void checkTrace(const std::string& path) {
-    const Value doc = parseFile(path);
-    if (doc.isNull()) return;
-    const Value* events = requireField(doc, "traceEvents", Kind::Array, path);
-    if (events == nullptr) return;
-
-    // Per-(pid, tid) stack of open B event names.
-    std::map<std::pair<int, int>, std::vector<std::string>> open;
-    int durations = 0;
-    for (size_t i = 0; i < events->asArray().size(); ++i) {
-        const Value& ev = events->asArray()[i];
-        const std::string where = path + ":event[" + std::to_string(i) + "]";
-        const Value* ph = requireField(ev, "ph", Kind::String, where);
-        const Value* name = requireField(ev, "name", Kind::String, where);
-        const Value* pid = requireField(ev, "pid", Kind::Number, where);
-        const Value* tid = requireField(ev, "tid", Kind::Number, where);
-        if (ph == nullptr || name == nullptr || pid == nullptr ||
-            tid == nullptr) {
-            continue;
-        }
-        const std::pair<int, int> track{static_cast<int>(pid->asNumber()),
-                                        static_cast<int>(tid->asNumber())};
-        if (ph->asString() == "M") continue;  // metadata (thread_name)
-        if (ph->asString() != "B" && ph->asString() != "E") {
-            fail(where + ": unexpected phase \"" + ph->asString() + "\"");
-            continue;
-        }
-        requireField(ev, "ts", Kind::Number, where);
-        ++durations;
-        if (ph->asString() == "B") {
-            open[track].push_back(name->asString());
-        } else {
-            auto& stack = open[track];
-            if (stack.empty()) {
-                fail(where + ": E event with no open B on its track");
-            } else if (stack.back() != name->asString()) {
-                fail(where + ": E \"" + name->asString() +
-                     "\" does not match open B \"" + stack.back() + "\"");
-                stack.pop_back();
-            } else {
-                stack.pop_back();
-            }
-        }
-    }
-    for (const auto& [track, stack] : open) {
-        if (!stack.empty()) {
-            fail(path + ": track " + std::to_string(track.first) + "/" +
-                 std::to_string(track.second) + " has " +
-                 std::to_string(stack.size()) + " unclosed B event(s)");
-        }
-    }
-    if (durations == 0) fail(path + ": no duration events");
-}
-
-/// One side (before / after) of a kernel-bench entry.
-const Value* checkBenchSide(const Value& entry, const std::string& key,
-                            const std::string& where) {
-    const Value* side = requireField(entry, key, Kind::Object, where);
-    if (side == nullptr) return nullptr;
-    requireField(*side, "variant", Kind::String, where + "/" + key);
-    requireField(*side, "seconds", Kind::Number, where + "/" + key);
-    requireField(*side, "counters", Kind::Object, where + "/" + key);
-    requireField(*side, "solution", Kind::Object, where + "/" + key);
-    return side;
-}
-
-/// The before/after runs must agree on every solution field (routed
-/// bits, wirelength, vias, objective, ...): the kernel rewrites are
-/// required to be outcome-preserving, not just faster.
-void checkBenchSolutions(const Value& before, const Value& after,
-                         const std::string& where) {
-    const Value* sb = before.find("solution");
-    const Value* sa = after.find("solution");
-    if (sb == nullptr || sa == nullptr || sb->kind() != Kind::Object ||
-        sa->kind() != Kind::Object) {
-        return;  // already reported by checkBenchSide
-    }
-    for (const auto& [key, value] : sb->asObject().items()) {
-        const Value* other = sa->find(key);
-        if (other == nullptr || other->kind() != value.kind()) {
-            fail(where + ": solution field \"" + key +
-                 "\" missing or mistyped on the after side");
-            continue;
-        }
-        bool same = true;
-        if (value.kind() == Kind::Number) {
-            same = std::abs(value.asNumber() - other->asNumber()) <= 1e-6;
-        } else if (value.kind() == Kind::Bool) {
-            same = value.asBool() == other->asBool();
-        }
-        if (!same) {
-            fail(where + ": before/after disagree on solution field \"" +
-                 key + "\"");
-        }
-    }
-}
-
-/// Total drop of a kernel's headline counter, from the totals section.
-void checkBenchDrop(const Value& totals, const std::string& kernel,
-                    const std::string& path) {
-    const Value* section =
-        requireField(totals, kernel, Kind::Object, path + ":totals");
-    if (section == nullptr) return;
-    const Value* drop = requireField(*section, "dropPercent", Kind::Number,
-                                     path + ":totals/" + kernel);
-    if (drop != nullptr && drop->asNumber() < 30.0) {
-        fail(path + ": " + kernel + " counter drop is " +
-             std::to_string(drop->asNumber()) +
-             "%, below the 30% performance contract");
-    }
-}
-
-void checkBench(const std::string& path) {
-    const Value doc = parseFile(path);
-    if (doc.isNull()) return;
-    if (doc.kind() != Kind::Object) {
-        fail(path + ": top level is not an object");
-        return;
-    }
-    const Value* schema = requireField(doc, "schema", Kind::String, path);
-    if (schema != nullptr && schema->asString() != "streak-kernel-bench") {
-        fail(path + ": schema is \"" + schema->asString() +
-             "\", expected \"streak-kernel-bench\"");
-    }
-    const Value* version =
-        requireField(doc, "schemaVersion", Kind::Number, path);
-    if (version != nullptr && static_cast<int>(version->asNumber()) != 1) {
-        fail(path + ": unsupported schemaVersion");
-    }
-    const Value* kernels = requireField(doc, "kernels", Kind::Array, path);
-    if (kernels != nullptr) {
-        if (kernels->asArray().empty()) fail(path + ": no kernel entries");
-        for (size_t i = 0; i < kernels->asArray().size(); ++i) {
-            const Value& entry = kernels->asArray()[i];
-            const std::string where =
-                path + ":kernel[" + std::to_string(i) + "]";
-            requireField(entry, "kernel", Kind::String, where);
-            requireField(entry, "design", Kind::String, where);
-            const Value* before = checkBenchSide(entry, "before", where);
-            const Value* after = checkBenchSide(entry, "after", where);
-            if (before != nullptr && after != nullptr) {
-                checkBenchSolutions(*before, *after, where);
-            }
-        }
-    }
-    const Value* totals = requireField(doc, "totals", Kind::Object, path);
-    if (totals != nullptr) {
-        checkBenchDrop(*totals, "maze", path);
-        checkBenchDrop(*totals, "lp", path);
-    }
+    std::cout << "report_check: ok\n";
+    return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc == 3 && std::string(argv[1]) == "--bench") {
-        checkBench(argv[2]);
-        if (errors > 0) {
-            std::cerr << "report_check: " << errors << " problem(s)\n";
-            return 1;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    bool bench = false;
+    bool requireEco = false;
+    std::vector<std::string> paths;
+    for (const std::string& arg : args) {
+        if (arg == "--bench") {
+            bench = true;
+        } else if (arg == "--eco") {
+            requireEco = true;
+        } else {
+            paths.push_back(arg);
         }
-        std::cout << "report_check: ok\n";
-        return 0;
     }
-    if (argc < 2 || argc > 3) {
-        std::cerr << "usage: report_check <report.json> [<trace.json>]\n"
+    if (bench && requireEco) {
+        std::cerr << "report_check: --bench and --eco are exclusive\n";
+        return 2;
+    }
+    if (paths.empty() || paths.size() > (bench ? 1u : 2u)) {
+        std::cerr << "usage: report_check [--eco] <report.json> "
+                     "[<trace.json>]\n"
                      "       report_check --bench <BENCH_streak.json>\n";
         return 2;
     }
-    checkReport(argv[1]);
-    if (argc == 3) checkTrace(argv[2]);
-    if (errors > 0) {
-        std::cerr << "report_check: " << errors << " problem(s)\n";
-        return 1;
+
+    const std::optional<std::string> report = slurp(paths[0]);
+    if (!report.has_value()) return 1;
+    if (bench) {
+        return finish(streak::flow::checkKernelBench(*report, paths[0]));
     }
-    std::cout << "report_check: ok\n";
-    return 0;
+    streak::flow::CheckResult result =
+        streak::flow::checkRunReport(*report, paths[0], requireEco);
+    if (paths.size() == 2) {
+        const std::optional<std::string> trace = slurp(paths[1]);
+        if (!trace.has_value()) return 1;
+        streak::flow::CheckResult traceResult =
+            streak::flow::checkChromeTrace(*trace, paths[1]);
+        result.problems.insert(result.problems.end(),
+                               traceResult.problems.begin(),
+                               traceResult.problems.end());
+    }
+    return finish(result);
 }

@@ -4,6 +4,8 @@
 //   streak info     <design.streak>                 print design stats
 //   streak route    <design.streak> [options]       route and report
 //   streak eco      <ckpt.streakeco> [options]      incremental re-route
+//   streak campaign run  [options]                  sweep configs x suites
+//   streak campaign diff <store.jsonl> [options]    flag regressions
 //
 // route options:
 //   --solver=pd|ilp        selection engine (default pd)
@@ -43,20 +45,51 @@
 //                          delta batch can chain on top
 //   --quiet                only the summary lines
 //
+// campaign run options:
+//   --store=<file.jsonl>   append one schema-versioned record per sweep
+//                          point (config x suite x threads) to this
+//                          JSON-lines store (required)
+//   --configs=<a,b>        built-in configs to sweep (default all:
+//                          pd, pd-nopost, ilp, manual)
+//   --suites=<1,3,7>       shrunk synth suites to route (default 1-7)
+//   --threads=<0,2>        thread counts to sweep (default 0); counter
+//                          values are identical for every count
+//   --scale-counter=<name:factor>
+//                          multiply a persisted counter (repeatable);
+//                          drill knob for exercising `campaign diff`
+//   --quiet                no per-run progress lines
+//
+// campaign diff options (at least one baseline is required):
+//   --baseline=<file.jsonl>  prior store to compare against
+//   --bench=<file.json>      committed kernel-bench baseline
+//                            (BENCH_streak.json); checks the ilp
+//                            config against the LP kernel (pivots +
+//                            quality) and the manual config against
+//                            the maze kernel (pops + quality)
+//   --verdict=<file.json>    write the machine-readable verdict
+//   --counter-pct=<p>        counter growth threshold (default 10)
+//   --wall-pct=<p>           wall-time growth threshold (default 50)
+//   --min-wall=<sec>         wall noise floor (default 0.1)
+//   --quiet                  only the verdict summary line
+//
 // The stage table's "speedup" column estimates per-stage parallel
 // speedup (task seconds / wall seconds); it is printed only when the
 // run used more than one thread.
 //
 // Exit codes: 0 success (possibly degraded), 1 unexpected error, 2 bad
 // usage, 3 invalid input, 4 deadline expired, 5 cancelled, 6 injected
-// fault, 7 internal error. Fault-injection builds honor the STREAK_FAULT
-// environment variable ("site" or "site:hit", see robust/fault.hpp).
+// fault, 7 internal error, 8 campaign regression. Fault-injection builds
+// honor the STREAK_FAULT environment variable ("site" or "site:hit", see
+// robust/fault.hpp).
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "eco/checkpoint.hpp"
 #include "eco/delta.hpp"
 #include "eco/eco.hpp"
@@ -81,6 +114,13 @@ int usage() {
     std::cerr << "usage:\n"
               << "  streak generate <suite 1-7> <out.streak>\n"
               << "  streak info <design.streak>\n"
+              << "  streak campaign run --store=FILE.jsonl [--configs=A,B]"
+                 " [--suites=1,2,..] [--threads=N,M]"
+                 " [--scale-counter=NAME:FACTOR] [--quiet]\n"
+              << "  streak campaign diff <store.jsonl> [--baseline=FILE.jsonl]"
+                 " [--bench=FILE.json] [--verdict=FILE.json]"
+                 " [--counter-pct=P] [--wall-pct=P] [--min-wall=SEC]"
+                 " [--quiet]\n"
               << "  streak route <design.streak> [--solver=pd|ilp]"
                  " [--ilp-limit=SEC] [--threads=N] [--no-post]"
                  " [--no-clustering] [--no-refinement] [--backbones=K]"
@@ -94,7 +134,8 @@ int usage() {
                  " (task seconds / wall seconds) appears only for"
                  " multi-threaded runs.\n"
                  "exit codes: 0 ok, 1 unexpected, 2 usage, 3 invalid input,"
-                 " 4 deadline, 5 cancelled, 6 injected fault, 7 internal.\n";
+                 " 4 deadline, 5 cancelled, 6 injected fault, 7 internal,"
+                 " 8 campaign regression.\n";
     return 2;
 }
 
@@ -420,6 +461,211 @@ int cmdEco(int argc, char** argv) {
     return 0;
 }
 
+/// "1,3,7" -> {1, 3, 7}; throws std::invalid_argument on junk.
+std::vector<int> parseIntList(const std::string& text, const char* what) {
+    std::vector<int> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        size_t used = 0;
+        const int v = std::stoi(item, &used);
+        if (used != item.size()) {
+            throw std::invalid_argument(std::string("bad ") + what +
+                                        " entry '" + item + "'");
+        }
+        out.push_back(v);
+    }
+    if (out.empty()) {
+        throw std::invalid_argument(std::string("empty ") + what + " list");
+    }
+    return out;
+}
+
+int cmdCampaignRun(int argc, char** argv) {
+    campaign::CampaignSpec spec;
+    std::string storePath;
+    bool quiet = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--store=", 0) == 0) {
+            storePath = value("--store=");
+        } else if (arg.rfind("--configs=", 0) == 0) {
+            spec.configs.clear();
+            std::stringstream ss(value("--configs="));
+            std::string name;
+            while (std::getline(ss, name, ',')) {
+                spec.configs.push_back(campaign::configByName(name));
+            }
+        } else if (arg.rfind("--suites=", 0) == 0) {
+            spec.suites = parseIntList(value("--suites="), "suite");
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            spec.threads = parseIntList(value("--threads="), "threads");
+        } else if (arg.rfind("--scale-counter=", 0) == 0) {
+            const std::string knob = value("--scale-counter=");
+            const size_t colon = knob.rfind(':');
+            if (colon == std::string::npos || colon == 0) {
+                std::cerr << "streak: --scale-counter wants NAME:FACTOR\n";
+                return 2;
+            }
+            spec.scaleCounters[knob.substr(0, colon)] =
+                std::atof(knob.substr(colon + 1).c_str());
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::cerr << "streak: unknown option " << arg << '\n';
+            return 2;
+        }
+    }
+    if (storePath.empty()) {
+        std::cerr << "streak: campaign run needs --store=FILE.jsonl\n";
+        return 2;
+    }
+
+    const std::vector<campaign::RunRecord> records =
+        campaign::runCampaign(spec, quiet ? nullptr : &std::cout);
+    std::ofstream os(storePath, std::ios::app);
+    if (!os) {
+        std::cerr << "streak: cannot open " << storePath << '\n';
+        return 1;
+    }
+    campaign::appendStore(records, os);
+    std::cout << "campaign: appended " << records.size() << " record"
+              << (records.size() == 1 ? "" : "s") << " to " << storePath
+              << '\n';
+    return 0;
+}
+
+int cmdCampaignDiff(int argc, char** argv) {
+    if (argc < 4) return usage();
+    const std::string currentPath = argv[3];
+    std::string baselinePath;
+    std::string benchPath;
+    std::string verdictPath;
+    campaign::DiffThresholds thresholds;
+    bool quiet = false;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--baseline=", 0) == 0) {
+            baselinePath = value("--baseline=");
+        } else if (arg.rfind("--bench=", 0) == 0) {
+            benchPath = value("--bench=");
+        } else if (arg.rfind("--verdict=", 0) == 0) {
+            verdictPath = value("--verdict=");
+        } else if (arg.rfind("--counter-pct=", 0) == 0) {
+            thresholds.counterGrowth =
+                std::atof(value("--counter-pct=").c_str()) / 100.0;
+        } else if (arg.rfind("--wall-pct=", 0) == 0) {
+            thresholds.wallGrowth =
+                std::atof(value("--wall-pct=").c_str()) / 100.0;
+        } else if (arg.rfind("--min-wall=", 0) == 0) {
+            thresholds.minWallSeconds =
+                std::atof(value("--min-wall=").c_str());
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::cerr << "streak: unknown option " << arg << '\n';
+            return 2;
+        }
+    }
+    if (baselinePath.empty() && benchPath.empty()) {
+        std::cerr << "streak: campaign diff needs --baseline and/or"
+                     " --bench\n";
+        return 2;
+    }
+
+    const campaign::Store current = campaign::readStoreFile(currentPath);
+    for (const std::string& problem : current.problems) {
+        std::cerr << "streak: campaign: " << problem << '\n';
+    }
+    if (current.records.empty()) {
+        std::cerr << "streak: " << currentPath
+                  << " holds no valid campaign records\n";
+        return 3;
+    }
+
+    std::vector<campaign::DiffReport> reports;
+    if (!baselinePath.empty()) {
+        const campaign::Store baseline =
+            campaign::readStoreFile(baselinePath);
+        for (const std::string& problem : baseline.problems) {
+            std::cerr << "streak: campaign: " << problem << '\n';
+        }
+        reports.push_back(
+            campaign::diffAgainstStore(baseline, current, thresholds));
+    }
+    if (!benchPath.empty()) {
+        std::ifstream in(benchPath);
+        if (!in) {
+            std::cerr << "streak: cannot open " << benchPath << '\n';
+            return 3;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::string parseError;
+        const obs::json::Value bench =
+            obs::json::parse(buffer.str(), &parseError);
+        if (bench.isNull() && !parseError.empty()) {
+            std::cerr << "streak: " << benchPath << ": " << parseError
+                      << '\n';
+            return 3;
+        }
+        reports.push_back(
+            campaign::diffAgainstBench(bench, current, thresholds));
+    }
+
+    int regressionCount = 0;
+    for (const campaign::DiffReport& report : reports) {
+        if (!quiet) {
+            for (const std::string& note : report.notes) {
+                std::cout << "campaign: note (" << report.against
+                          << "): " << note << '\n';
+            }
+        }
+        for (const campaign::Regression& r : report.regressions) {
+            std::cerr << "campaign: REGRESSION (" << report.against << ") "
+                      << r.kind << ' ' << r.config << '/' << r.instance
+                      << ' ' << r.metric << ": " << r.baseline << " -> "
+                      << r.current << " (" << io::Table::fixed(
+                             r.growthPercent, 1) << "%)\n";
+        }
+        regressionCount += static_cast<int>(report.regressions.size());
+    }
+    const obs::json::Value verdict = campaign::verdictJson(reports);
+    if (!verdictPath.empty()) {
+        std::ofstream os(verdictPath);
+        if (!os) {
+            std::cerr << "streak: cannot open " << verdictPath << '\n';
+            return 1;
+        }
+        verdict.write(os, 2);
+        os << '\n';
+        if (!quiet) std::cout << "wrote " << verdictPath << '\n';
+    }
+    int compared = 0;
+    for (const campaign::DiffReport& report : reports) {
+        compared += report.comparedRuns;
+    }
+    std::cout << "campaign: " << compared << " comparison"
+              << (compared == 1 ? "" : "s") << ", " << regressionCount
+              << " regression" << (regressionCount == 1 ? "" : "s") << '\n';
+    return regressionCount > 0 ? 8 : 0;
+}
+
+int cmdCampaign(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string sub = argv[2];
+    if (sub == "run") return cmdCampaignRun(argc, argv);
+    if (sub == "diff") return cmdCampaignDiff(argc, argv);
+    std::cerr << "streak: unknown campaign subcommand " << sub << '\n';
+    return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -431,6 +677,7 @@ int main(int argc, char** argv) {
         if (cmd == "info") return cmdInfo(argc, argv);
         if (cmd == "route") return cmdRoute(argc, argv);
         if (cmd == "eco") return cmdEco(argc, argv);
+        if (cmd == "campaign") return cmdCampaign(argc, argv);
     } catch (const streak::robust::StreakException& e) {
         // Structured failures outside runStreak (e.g. reading the design
         // file) still map to their distinct exit codes.
